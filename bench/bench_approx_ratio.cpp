@@ -1,0 +1,132 @@
+// E10 — Propositions 2 and 6: the greedy dominating trees are within
+// (1 + log Delta) of the optimal tree (per shell; factor (1+beta)(r+beta-1)
+// (1+log Delta) overall). Measured: exact optima by exhaustive set cover on
+// small neighborhoods vs the greedy's tree sizes, reported as a worst-case
+// and average ratio against the theoretical ceiling.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "core/dominating_tree.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/synthetic.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+namespace {
+
+/// Exact minimum k-cover of the distance-2 shell of u by neighbors of u
+/// (the optimal k-connecting (2,0)-dominating tree size; Prop. 6's
+/// comparison point). Exponential in deg(u): callers keep degrees <= 20.
+std::size_t optimal_k_cover(const Graph& g, NodeId u, Dist k) {
+  const auto nbrs = g.neighbors(u);
+  const std::size_t d = nbrs.size();
+  REMSPAN_CHECK(d <= 22);
+  // Shell and per-shell-node candidate masks.
+  BoundedBfs bfs(g.num_nodes());
+  bfs.run(GraphView(g), u, 2);
+  std::vector<std::uint32_t> masks;      // for each shell node: covering neighbors
+  std::vector<std::uint32_t> needed;     // min(k, popcount(mask))
+  for (const NodeId v : bfs.order()) {
+    if (bfs.dist(v) != 2) continue;
+    std::uint32_t mask = 0;
+    for (std::size_t i = 0; i < d; ++i) {
+      if (g.has_edge(nbrs[i], v)) mask |= (1u << i);
+    }
+    masks.push_back(mask);
+    needed.push_back(std::min<std::uint32_t>(k, static_cast<std::uint32_t>(
+                                                    __builtin_popcount(mask))));
+  }
+  if (masks.empty()) return 0;
+  std::size_t best = d;
+  for (std::uint32_t subset = 0; subset < (1u << d); ++subset) {
+    const auto size = static_cast<std::size_t>(__builtin_popcount(subset));
+    if (size >= best) continue;
+    bool ok = true;
+    for (std::size_t j = 0; j < masks.size(); ++j) {
+      if (static_cast<std::uint32_t>(__builtin_popcount(subset & masks[j])) < needed[j]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) best = size;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<NodeId>(opts.get_int("n", 70));
+  const auto reps = static_cast<int>(opts.get_int("reps", 10));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  banner("Table E10 — greedy dominating trees vs exact optimum",
+         "paper: DomTreeGdy within 1+log Delta of optimal (Prop. 6; Prop. 2 for r>2)");
+
+  Table table({"k", "roots", "greedy=opt", "max ratio", "avg ratio", "ceiling 1+ln D"});
+  for (const Dist k : {1u, 2u, 3u}) {
+    std::size_t roots = 0, exact_matches = 0;
+    double max_ratio = 1.0, sum_ratio = 0.0;
+    double ceiling = 1.0;
+    for (int rep = 0; rep < reps; ++rep) {
+      Rng rng(900 + static_cast<std::uint64_t>(rep));
+      const Graph g = connected_gnp(n, 6.0 / n, rng);
+      DomTreeBuilder builder(g);
+      for (NodeId u = 0; u < g.num_nodes(); ++u) {
+        if (g.degree(u) > 18) continue;  // keep brute force tractable
+        const std::size_t greedy = builder.greedy_k(u, k).num_edges();
+        const std::size_t opt = optimal_k_cover(g, u, k);
+        if (opt == 0) continue;
+        ++roots;
+        exact_matches += (greedy == opt);
+        const double ratio = static_cast<double>(greedy) / static_cast<double>(opt);
+        max_ratio = std::max(max_ratio, ratio);
+        sum_ratio += ratio;
+        ceiling = std::max(ceiling, 1.0 + std::log(static_cast<double>(g.max_degree())));
+      }
+    }
+    table.add_row({std::to_string(k), std::to_string(roots),
+                   std::to_string(exact_matches), format_double(max_ratio, 3),
+                   format_double(roots ? sum_ratio / static_cast<double>(roots) : 1.0, 3),
+                   format_double(ceiling, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery 'max ratio' must sit below the 1+ln(Delta) ceiling; in practice\n"
+               "the greedy matches the optimum on most roots.\n";
+
+  // Theorem 2's spanner-level claim: |E(H)| <= 2(1+log Delta) |E(H*)|,
+  // proven through the lower bound 2|E(H*)| >= sum_u |T*_u|. We measure the
+  // computed spanner against that same lower bound (sum of EXACT per-root
+  // optima over 2), which is the tightest certificate available without
+  // solving the NP-hard global problem.
+  std::cout << "\nspanner-level optimality (Th.2 claim: within 2(1+log Delta) of optimal):\n";
+  Table spanner_table({"k", "spanner edges", "lower bound sum(opt)/2", "ratio",
+                       "ceiling 2(1+ln D)"});
+  for (const Dist k : {1u, 2u}) {
+    Rng rng(950 + k);
+    const Graph g = connected_gnp(n, 6.0 / n, rng);
+    std::uint64_t opt_sum = 0;
+    bool exact = true;
+    for (NodeId u = 0; u < g.num_nodes(); ++u) {
+      if (g.degree(u) > 18) {
+        exact = false;
+        break;
+      }
+      opt_sum += optimal_k_cover(g, u, k);
+    }
+    if (!exact) continue;
+    const std::size_t spanner_edges = build_k_connecting_spanner(g, k).size();
+    const double lb = static_cast<double>(opt_sum) / 2.0;
+    spanner_table.add_row(
+        {std::to_string(k), std::to_string(spanner_edges), format_double(lb, 1),
+         format_double(static_cast<double>(spanner_edges) / lb, 3),
+         format_double(2.0 * (1.0 + std::log(static_cast<double>(g.max_degree()))), 3)});
+  }
+  spanner_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E11 — remote-spanners against the classical alternatives on the same
+// inputs: edge budget vs measured worst-case stretch (remote and classical
+// where applicable). This is the "who wins" reading of Table 1.
+#include "analysis/stretch_oracle.hpp"
+#include "baseline/baswana_sen.hpp"
+#include "baseline/greedy_spanner.hpp"
+#include "baseline/mpr.hpp"
+#include "bench_common.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/synthetic.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+namespace {
+
+void compare_on(const std::string& label, const Graph& g, std::uint64_t seed) {
+  std::cout << "\ninput: " << label << " (n=" << g.num_nodes() << " m=" << g.num_edges()
+            << ")\n";
+  Rng rng(seed);
+  struct Case {
+    std::string name;
+    EdgeSet h;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"full topology", EdgeSet(g, true)});
+  cases.push_back({"(1,0)-rem-span [Th.2 k=1]", build_k_connecting_spanner(g, 1)});
+  cases.push_back({"2-conn (1,0)-rem-span [Th.2 k=2]", build_k_connecting_spanner(g, 2)});
+  cases.push_back({"OLSR MPR union", olsr_mpr_spanner(g)});
+  cases.push_back({"(1.5,0)-rem-span [Th.1 eps=.5]", build_low_stretch_remote_spanner(g, 0.5)});
+  cases.push_back({"2-conn (2,-1)-rem-span [Th.3]", build_2connecting_spanner(g, 2)});
+  cases.push_back({"greedy (3,0)-spanner", greedy_spanner(g, 3.0)});
+  cases.push_back({"Baswana-Sen k=2 (3,0)-spanner", baswana_sen_spanner(g, 2, rng)});
+  cases.push_back({"Baswana-Sen k=3 (5,0)-spanner", baswana_sen_spanner(g, 3, rng)});
+
+  Table table({"construction", "edges", "% input", "remote max-ratio", "classic max-ratio"});
+  for (const auto& c : cases) {
+    const auto remote = check_remote_stretch(g, c.h, Stretch{1000.0, 1000.0});
+    const auto classic = check_spanner_stretch(g, c.h, Stretch{1000.0, 1000.0});
+    table.add_row(
+        {c.name, std::to_string(c.h.size()),
+         format_double(100.0 * static_cast<double>(c.h.size()) /
+                           static_cast<double>(g.num_edges()),
+                       1),
+         remote.violations == 0 ? format_double(remote.max_ratio, 3) : "disconnects",
+         classic.violations == 0 ? format_double(classic.max_ratio, 3) : "disconnects"});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const double mean_n = opts.get_double("n-udg", 600);
+  const auto n_gnp = static_cast<NodeId>(opts.get_int("n-gnp", 450));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 51));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  banner("Table E11 — remote-spanners vs classical spanners (same inputs)",
+         "paper: remote relaxation buys exactness ((1,0) possible & sparse) or size (O(n) on UBG)");
+
+  compare_on("random UDG", paper_udg(7.0, mean_n, seed), seed);
+  Rng rng(seed + 1);
+  compare_on("G(n,p) p=12/n", connected_gnp(n_gnp, 12.0 / n_gnp, rng), seed + 2);
+
+  std::cout << "\nReading: the (1,0)-remote-spanner rows keep remote max-ratio at 1.000\n"
+               "with a fraction of the edges — impossible for any classical (1,0)\n"
+               "spanner (100% of edges by definition). The classical spanners pay\n"
+               "stretch ~3-5 for comparable sparsity.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Shared workload preparation for the bench binaries. Every bench prints
+// the paper artifact it reproduces, the workload parameters, and a table of
+// measured values next to the paper's asymptotic claim (EXPERIMENTS.md is
+// compiled from these outputs).
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "geom/ball_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace remspan::bench {
+
+/// Largest connected component of g (random geometric graphs are usually
+/// connected at the densities used, but stragglers would distort per-node
+/// averages).
+inline Graph largest_component(const Graph& g) {
+  const auto comps = connected_components(g);
+  if (comps.count <= 1) return g;
+  return induced_subgraph(g, comps.largest()).graph;
+}
+
+/// The paper's random UDG model: Poisson(mean_nodes) points in a fixed
+/// [0, side]^2 square, unit disks; largest component.
+inline Graph paper_udg(double side, double mean_nodes, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto gg = random_unit_disk_graph(side, mean_nodes, rng);
+  return largest_component(gg.graph);
+}
+
+/// Uniform unit ball graph of a doubling metric (R^dim, L2); largest
+/// component, with geometry retained for the weighted baselines.
+inline GeometricGraph paper_ubg(std::size_t n, double side, std::size_t dim,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  auto gg = uniform_unit_ball_graph(n, side, dim, rng);
+  const auto comps = connected_components(gg.graph);
+  if (comps.count > 1) {
+    auto sub = induced_subgraph(gg.graph, comps.largest());
+    PointSet pts(gg.points.dim());
+    for (const NodeId old : sub.original_id) pts.add(gg.points.point(old));
+    gg.graph = std::move(sub.graph);
+    gg.points = std::move(pts);
+  }
+  return gg;
+}
+
+inline void banner(const std::string& title, const std::string& claim) {
+  std::cout << "==================================================================\n"
+            << title << "\n" << claim << "\n"
+            << "==================================================================\n";
+}
+
+}  // namespace remspan::bench

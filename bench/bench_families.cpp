@@ -1,0 +1,65 @@
+// E13 — the paper's universality claim (Section 1.2): "our algorithm works
+// properly on any graph, i.e. computes a (1+eps, 1-2eps)-remote-spanner
+// whatever the input is" — only the SIZE bounds need the UBG assumption.
+// Measured: all three constructions on eight structurally different graph
+// families, with the exact oracles verifying every guarantee.
+#include "analysis/kconn_oracle.hpp"
+#include "analysis/stretch_oracle.hpp"
+#include "bench_common.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/synthetic.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<NodeId>(opts.get_int("n", 300));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 61));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  banner("Table E13 — guarantees hold on ANY graph (universality)",
+         "paper §1.2: the constructions never need the UBG assumption for correctness");
+
+  struct Family {
+    std::string name;
+    Graph g;
+  };
+  Rng rng(seed);
+  std::vector<Family> families;
+  families.push_back({"G(n,p) sparse", connected_gnp(n, 6.0 / n, rng)});
+  families.push_back({"G(n,p) dense", connected_gnp(n, 40.0 / n, rng)});
+  families.push_back({"Barabasi-Albert m=3", largest_component(barabasi_albert(n, 3, rng))});
+  families.push_back(
+      {"Watts-Strogatz k=6 p=.1", largest_component(watts_strogatz(n, 6, 0.1, rng))});
+  families.push_back({"random 6-regular", largest_component(random_regular(n, 6, rng))});
+  families.push_back({"grid", grid_graph(17, 18)});
+  families.push_back({"hypercube d=8", hypercube_graph(8)});
+  families.push_back({"random UDG", paper_udg(6.0, n, seed + 1)});
+
+  Table table({"family", "n", "m", "Th1 e=.5 edges", "Th1 ok", "Th2 k=1 edges",
+               "Th2 ok", "Th3 edges", "Th3 ok"});
+  bool all_ok = true;
+  for (const auto& fam : families) {
+    const Graph& g = fam.g;
+    const EdgeSet th1 = build_low_stretch_remote_spanner(g, 0.5);
+    const EdgeSet th2 = build_k_connecting_spanner(g, 1);
+    const EdgeSet th3 = build_2connecting_spanner(g, 2);
+    const bool ok1 = check_remote_stretch(g, th1, Stretch{1.5, 0.0}).satisfied;
+    const bool ok2 = check_remote_stretch(g, th2, Stretch{1.0, 0.0}).satisfied;
+    const bool ok3 =
+        check_k_connecting_stretch(g, th3, 2, Stretch{2.0, -1.0}, 120, seed).satisfied;
+    all_ok = all_ok && ok1 && ok2 && ok3;
+    table.add_row({fam.name, std::to_string(g.num_nodes()), std::to_string(g.num_edges()),
+                   std::to_string(th1.size()), ok1 ? "yes" : "NO",
+                   std::to_string(th2.size()), ok2 ? "yes" : "NO",
+                   std::to_string(th3.size()), ok3 ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  std::cout << (all_ok ? "\nall guarantees verified on all families\n"
+                       : "\nGUARANTEE VIOLATION — see table\n");
+  return all_ok ? 0 : 1;
+}

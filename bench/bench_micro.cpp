@@ -1,0 +1,131 @@
+// E12 — microbenchmarks (google-benchmark): throughput of the primitives
+// behind every experiment, for performance-regression tracking.
+#include <benchmark/benchmark.h>
+
+#include "baseline/mpr.hpp"
+#include "core/dominating_tree.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "geom/synthetic.hpp"
+#include "graph/bfs.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+const Graph& shared_udg() {
+  static const Graph g = [] {
+    Rng rng(77);
+    const auto gg = random_unit_disk_graph(7.0, 500, rng);
+    const auto comps = connected_components(gg.graph);
+    return induced_subgraph(gg.graph, comps.largest()).graph;
+  }();
+  return g;
+}
+
+void BM_BfsFull(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  BoundedBfs bfs(g.num_nodes());
+  NodeId src = 0;
+  for (auto _ : state) {
+    bfs.run(GraphView(g), src);
+    src = (src + 1) % g.num_nodes();
+    benchmark::DoNotOptimize(bfs.order().size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+BENCHMARK(BM_BfsFull);
+
+void BM_BfsTwoHop(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  BoundedBfs bfs(g.num_nodes());
+  NodeId src = 0;
+  for (auto _ : state) {
+    bfs.run(GraphView(g), src, 2);
+    src = (src + 1) % g.num_nodes();
+    benchmark::DoNotOptimize(bfs.order().size());
+  }
+}
+BENCHMARK(BM_BfsTwoHop);
+
+void BM_DomTreeGreedyK(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  DomTreeBuilder builder(g);
+  const auto k = static_cast<Dist>(state.range(0));
+  NodeId root = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.greedy_k(root, k).num_edges());
+    root = (root + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DomTreeGreedyK)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_DomTreeMis(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  DomTreeBuilder builder(g);
+  const auto r = static_cast<Dist>(state.range(0));
+  NodeId root = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.mis(root, r).num_edges());
+    root = (root + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DomTreeMis)->Arg(2)->Arg(3)->Arg(5);
+
+void BM_DomTreeMisK(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  DomTreeBuilder builder(g);
+  const auto k = static_cast<Dist>(state.range(0));
+  NodeId root = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.mis_k(root, k).num_edges());
+    root = (root + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DomTreeMisK)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SpannerBuildTh2(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_k_connecting_spanner(g, 1).size());
+  }
+}
+BENCHMARK(BM_SpannerBuildTh2)->Unit(benchmark::kMillisecond);
+
+void BM_SpannerBuildTh1(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_low_stretch_remote_spanner(g, 0.5).size());
+  }
+}
+BENCHMARK(BM_SpannerBuildTh1)->Unit(benchmark::kMillisecond);
+
+void BM_OlsrMprNode(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  NodeId u = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(olsr_mpr_set(g, u).size());
+    u = (u + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_OlsrMprNode);
+
+void BM_DisjointPathsOracle(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  NodeId s = 0;
+  for (auto _ : state) {
+    const NodeId t = (s + g.num_nodes() / 2) % g.num_nodes();
+    benchmark::DoNotOptimize(min_disjoint_paths(GraphView(g), s, t, 2).connectivity());
+    s = (s + 1) % g.num_nodes();
+  }
+  state.SetLabel("d^2 via min-cost flow, n=" + std::to_string(g.num_nodes()));
+}
+BENCHMARK(BM_DisjointPathsOracle)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace remspan
+
+BENCHMARK_MAIN();

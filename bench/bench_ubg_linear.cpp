@@ -1,0 +1,87 @@
+// E4/E7 — Theorems 1 and 3: on the unit ball graph of a doubling metric the
+// (1+eps,1-2eps)-remote-spanner and the 2-connecting (2,-1)-remote-spanner
+// have O(n) edges with a constant depending only on eps and the doubling
+// dimension p — NOT on the graph's density.
+//
+// Two views:
+//  (a) n sweep in a fixed square: the input densifies ~n^2 while the
+//      constructions grow with a visibly smaller exponent (they approach
+//      linear as the per-tree packing constant saturates);
+//  (b) density sweep at fixed n (shrinking square): input edges/n grows
+//      linearly with average degree while the constructions' edges/n
+//      saturates — the density-independent constant of the theorems,
+//      which no classical density-oblivious bound provides.
+#include "bench_common.hpp"
+#include "core/remote_spanner.hpp"
+#include "util/fit.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const double side = opts.get_double("side", 8.0);
+  const double eps = opts.get_double("eps", 0.5);
+  const auto n_max = static_cast<std::size_t>(opts.get_int("n-max", 2000));
+  const auto n_fixed = static_cast<std::size_t>(opts.get_int("n-fixed", 1200));
+  const auto dim = static_cast<std::size_t>(opts.get_int("dim", 2));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  banner("Figure E4/E7 — linear-size constructions on doubling UBGs",
+         "paper: Th.1 edges O(eps^-(p+1) n), Th.3 edges O(n); constants independent of density");
+
+  std::cout << "(a) n sweep, fixed square side=" << side << "\n";
+  std::vector<double> ns, ge, t1e, t3e;
+  Table table({"n", "edges(G)", "G/n", "Th1 edges", "Th1/n", "Th3 edges", "Th3/n"});
+  for (std::size_t n = 250; n <= n_max; n *= 2) {
+    const GeometricGraph gg = paper_ubg(n, side, dim, 40 + n);
+    const Graph& g = gg.graph;
+    const EdgeSet th1 = build_low_stretch_remote_spanner(g, eps);
+    const EdgeSet th3 = build_2connecting_spanner(g, 2);
+    const auto nn = static_cast<double>(g.num_nodes());
+    ns.push_back(nn);
+    ge.push_back(static_cast<double>(g.num_edges()));
+    t1e.push_back(static_cast<double>(th1.size()));
+    t3e.push_back(static_cast<double>(th3.size()));
+    table.add_row({std::to_string(g.num_nodes()), std::to_string(g.num_edges()),
+                   format_double(ge.back() / nn, 2), std::to_string(th1.size()),
+                   format_double(t1e.back() / nn, 2), std::to_string(th3.size()),
+                   format_double(t3e.back() / nn, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "fitted exponents: input n^"
+            << format_double(fit_power_law(ns, ge).slope, 3) << " | Th.1 n^"
+            << format_double(fit_power_law(ns, t1e).slope, 3) << " | Th.3 n^"
+            << format_double(fit_power_law(ns, t3e).slope, 3)
+            << "  (input ~2; constructions clearly sub-quadratic, approaching 1)\n";
+
+  std::cout << "\n(b) density sweep, fixed n=" << n_fixed
+            << " (shrinking square => growing average degree)\n";
+  Table dens({"side", "avg deg", "edges(G)/n", "Th1/n", "Th3/n"});
+  std::vector<double> degs, t1n, gn;
+  for (const double s : {11.0, 9.0, 7.5, 6.0, 5.0, 4.2}) {
+    const GeometricGraph gg = paper_ubg(n_fixed, s, dim, 90 + static_cast<std::uint64_t>(s * 10));
+    const Graph& g = gg.graph;
+    const EdgeSet th1 = build_low_stretch_remote_spanner(g, eps);
+    const EdgeSet th3 = build_2connecting_spanner(g, 2);
+    const auto nn = static_cast<double>(g.num_nodes());
+    degs.push_back(g.average_degree());
+    gn.push_back(static_cast<double>(g.num_edges()) / nn);
+    t1n.push_back(static_cast<double>(th1.size()) / nn);
+    dens.add_row({format_double(s, 1), format_double(g.average_degree(), 1),
+                  format_double(static_cast<double>(g.num_edges()) / nn, 2),
+                  format_double(static_cast<double>(th1.size()) / nn, 2),
+                  format_double(static_cast<double>(th3.size()) / nn, 2)});
+  }
+  dens.print(std::cout);
+  const double input_growth = gn.back() / gn.front();
+  const double th1_growth = t1n.back() / t1n.front();
+  std::cout << "degree grew " << format_double(degs.back() / degs.front(), 1)
+            << "x: input edges/n grew " << format_double(input_growth, 1)
+            << "x, Th.1 edges/n only " << format_double(th1_growth, 2)
+            << "x  (paper: bounded by the eps/p packing constant)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E3 — Theorem 2 / Section 3.2: on the random unit disk graph (Poisson in
+// a fixed square) the (1,0)-remote-spanner has O(n^{4/3} log n) expected
+// edges, against Omega(n^2) for the full topology. Measured: edges vs n
+// with a log-log power-law fit of the growth exponent.
+//
+// Expected shape: full-topology exponent ~2, remote-spanner exponent well
+// below it, compatible with 4/3 (+ log factor); the k = 2 variant scales
+// the same way with a k^{2/3} size factor.
+#include "bench_common.hpp"
+#include "core/remote_spanner.hpp"
+#include "util/fit.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const double side = opts.get_double("side", 8.0);
+  const auto seeds = static_cast<std::uint64_t>(opts.get_int("seeds", 3));
+  const auto n_max = static_cast<std::uint64_t>(opts.get_int("n-max", 3200));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  banner("Figure E3 — edge scaling on random UDG (fixed square, Poisson nodes)",
+         "paper: (1,0)-remote-spanner O(n^{4/3} log n) vs full graph Omega(n^2)  [Th.2, §3.2]");
+
+  std::vector<double> ns, full_edges, h1_edges, h2_edges;
+  Table table({"mean n", "n (comp)", "edges(G)", "edges(H,k=1)", "edges(H,k=2)",
+               "H1/n^(4/3)"});
+  for (std::uint64_t n = 200; n <= n_max; n *= 2) {
+    double sum_full = 0, sum_h1 = 0, sum_h2 = 0, sum_nodes = 0;
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const Graph g = paper_udg(side, static_cast<double>(n), 100 * n + s);
+      sum_nodes += g.num_nodes();
+      sum_full += static_cast<double>(g.num_edges());
+      sum_h1 += static_cast<double>(build_k_connecting_spanner(g, 1).size());
+      sum_h2 += static_cast<double>(build_k_connecting_spanner(g, 2).size());
+    }
+    const double nodes = sum_nodes / static_cast<double>(seeds);
+    const double fe = sum_full / static_cast<double>(seeds);
+    const double h1 = sum_h1 / static_cast<double>(seeds);
+    const double h2 = sum_h2 / static_cast<double>(seeds);
+    ns.push_back(nodes);
+    full_edges.push_back(fe);
+    h1_edges.push_back(h1);
+    h2_edges.push_back(h2);
+    table.add_row({std::to_string(n), format_double(nodes, 0), format_double(fe, 0),
+                   format_double(h1, 0), format_double(h2, 0),
+                   format_double(h1 / std::pow(nodes, 4.0 / 3.0), 3)});
+  }
+  table.print(std::cout);
+
+  const auto fit_full = fit_power_law(ns, full_edges);
+  const auto fit_h1 = fit_power_law(ns, h1_edges);
+  const auto fit_h2 = fit_power_law(ns, h2_edges);
+  std::cout << "\nfitted growth exponents (log-log OLS):\n"
+            << "  full topology   : n^" << format_double(fit_full.slope, 3)
+            << "  (paper: 2)\n"
+            << "  (1,0)-rem-span  : n^" << format_double(fit_h1.slope, 3)
+            << "  (paper: 4/3 ~ 1.333, + log factor)\n"
+            << "  2-conn variant  : n^" << format_double(fit_h2.slope, 3)
+            << "  (paper: same exponent, k^{2/3} prefactor)\n"
+            << "  k=2 / k=1 size ratio at n-max: "
+            << format_double(h2_edges.back() / h1_edges.back(), 3)
+            << "  (paper: ~2^{2/3} = 1.587)\n";
+  return 0;
+}

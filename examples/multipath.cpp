@@ -1,0 +1,83 @@
+// Multipath reliability scenario (Section 3's motivation): a 2-connecting
+// remote-spanner keeps two node-disjoint routes alive, so a single relay
+// failure never partitions a source from its destination.
+//
+//   ./multipath [--n 250] [--side 4.5] [--pairs 6] [--seed 5]
+#include <iostream>
+
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "sim/routing.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace remspan;
+
+namespace {
+
+/// Copies h without the edges incident to `failed` (a crashed relay).
+EdgeSet without_node(const EdgeSet& h, NodeId failed) {
+  EdgeSet out(h.graph());
+  for (const Edge& e : h.edge_list()) {
+    if (e.u != failed && e.v != failed) out.insert(e.u, e.v);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<std::size_t>(opts.get_int("n", 250));
+  const double side = opts.get_double("side", 4.5);
+  const int pairs = static_cast<int>(opts.get_int("pairs", 6));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 5));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  Rng rng(seed);
+  const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
+  const auto comps = connected_components(gg.graph);
+  const Graph g = induced_subgraph(gg.graph, comps.largest()).graph;
+  const EdgeSet h2 = build_2connecting_spanner(g, 2);
+  const EdgeSet h1 = build_k_connecting_spanner(g, 1);
+  std::cout << "network n=" << g.num_nodes() << " m=" << g.num_edges()
+            << " | 2-connecting spanner: " << h2.size()
+            << " edges | (1,0)-remote-spanner: " << h1.size() << " edges\n\n";
+
+  Table table({"s", "t", "d^2_G", "d^2_{H_s}", "failed relay", "reroute via H^2",
+               "reroute via H^1"});
+  Rng pick(seed + 7);
+  int produced = 0;
+  while (produced < pairs) {
+    const auto s = static_cast<NodeId>(pick.uniform(g.num_nodes()));
+    const auto t = static_cast<NodeId>(pick.uniform(g.num_nodes()));
+    if (s == t || g.has_edge(s, t)) continue;
+    const auto in_g = min_disjoint_paths(GraphView(g), s, t, 2);
+    if (in_g.connectivity() < 2) continue;
+    const auto in_h = min_disjoint_paths(AugmentedView(h2, s), s, t, 2, /*want_paths=*/true);
+    if (in_h.connectivity() < 2) continue;
+    // Fail the first internal relay of the primary path; the surviving
+    // spanner must still deliver.
+    const NodeId failed = in_h.paths[0].size() > 2 ? in_h.paths[0][1] : in_h.paths[1][1];
+    const EdgeSet h2_failed = without_node(h2, failed);
+    const EdgeSet h1_failed = without_node(h1, failed);
+    const auto route2 = greedy_route(h2_failed, s, t);
+    const auto route1 = greedy_route(h1_failed, s, t);
+    table.add_row({std::to_string(s), std::to_string(t),
+                   std::to_string(in_g.d(2)), std::to_string(in_h.d(2)),
+                   std::to_string(failed),
+                   route2.delivered ? std::to_string(route2.hops()) + " hops" : "LOST",
+                   route1.delivered ? std::to_string(route1.hops()) + " hops" : "LOST"});
+    ++produced;
+  }
+  table.print(std::cout);
+  std::cout << "\nThe 2-connecting spanner (Theorem 3) guarantees d^2_{H_s} <= 2 d^2_G - 2;\n"
+               "the plain (1,0)-remote-spanner makes no such promise and may lose the\n"
+               "pair when its only advertised shortest path dies.\n";
+  return 0;
+}

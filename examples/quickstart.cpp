@@ -1,0 +1,72 @@
+// Quickstart: build a random ad-hoc network, compute the three
+// remote-spanner flavours of the paper, verify their guarantees with the
+// exact oracles, and route a packet greedily.
+//
+//   ./quickstart [--n 400] [--side 6] [--seed 1]
+#include <iostream>
+
+#include "analysis/kconn_oracle.hpp"
+#include "analysis/spanner_stats.hpp"
+#include "analysis/stretch_oracle.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "sim/routing.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+using namespace remspan;
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<std::size_t>(opts.get_int("n", 400));
+  const double side = opts.get_double("side", 6.0);
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  // 1. A unit disk graph: the paper's ad-hoc network model.
+  Rng rng(seed);
+  const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
+  const auto comps = connected_components(gg.graph);
+  const Graph g = induced_subgraph(gg.graph, comps.largest()).graph;
+  std::cout << "network: n=" << g.num_nodes() << " edges=" << g.num_edges()
+            << " avg_degree=" << format_double(g.average_degree(), 1) << "\n\n";
+
+  // 2. The three constructions of Theorems 1-3.
+  const EdgeSet exact = build_k_connecting_spanner(g, 1);         // (1,0)
+  const EdgeSet low_stretch = build_low_stretch_remote_spanner(g, 0.5);  // (1.5, 0)
+  const EdgeSet two_conn = build_2connecting_spanner(g, 2);       // 2-conn (2,-1)
+
+  Table table({"construction", "edges", "% of input", "guarantee", "verified"});
+  auto add_row = [&](const char* name, const EdgeSet& h, const char* guarantee,
+                     bool ok) {
+    const auto stats = compute_spanner_stats(h);
+    table.add_row({name, std::to_string(stats.spanner_edges),
+                   format_double(100.0 * stats.edge_fraction, 1), guarantee,
+                   ok ? "yes" : "NO"});
+  };
+  add_row("full topology (link state)", EdgeSet(g, true), "(1,0)", true);
+  add_row("(1,0)-remote-spanner  [Th.2, k=1]", exact, "(1,0)",
+          check_remote_stretch(g, exact, Stretch{1, 0}).satisfied);
+  add_row("(1.5,0)-remote-spanner [Th.1, eps=.5]", low_stretch, "(1.5,0)",
+          check_remote_stretch(g, low_stretch, Stretch{1.5, 0.0}).satisfied);
+  add_row("2-connecting (2,-1)    [Th.3]", two_conn, "2-conn (2,-1)",
+          check_k_connecting_stretch(g, two_conn, 2, Stretch{2, -1}, 100).satisfied);
+  table.print(std::cout);
+
+  // 3. Greedy link-state routing over the sparsest spanner.
+  const NodeId s = 0;
+  const NodeId t = g.num_nodes() - 1;
+  const auto route = greedy_route(exact, s, t);
+  std::cout << "\ngreedy route " << s << " -> " << t << " over the (1,0)-remote-spanner: ";
+  if (route.delivered) {
+    std::cout << route.hops() << " hops (shortest possible: "
+              << bfs_distance(GraphView(g), s, t) << ")\n";
+  } else {
+    std::cout << "undeliverable\n";
+  }
+  return 0;
+}

@@ -1,0 +1,182 @@
+// remspan_tool: command-line driver over the whole library. Generate or
+// load a graph, build any spanner by name, verify it, and export results.
+//
+//   ./example_remspan_tool --input graph.txt --construction th1 --eps 0.5
+//   ./example_remspan_tool --gen udg --n 500 --side 6 --construction th2 --k 2
+//   ./example_remspan_tool --gen gnp --n 300 --deg 12 --construction mpr --dot out.dot
+//
+// Constructions: th1 (low-stretch, --eps), th2 (k-connecting exact, --k),
+// th3 (k-connecting (2,-1), --k), mpr (OLSR), greedy (--t), baswana (--k),
+// full. Verification runs the matching oracle unless --no-verify.
+#include <fstream>
+#include <iostream>
+
+#include "analysis/kconn_oracle.hpp"
+#include "analysis/spanner_stats.hpp"
+#include "analysis/stretch_oracle.hpp"
+#include "baseline/baswana_sen.hpp"
+#include "baseline/greedy_spanner.hpp"
+#include "baseline/mpr.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "geom/synthetic.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graphio.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+using namespace remspan;
+
+namespace {
+
+Graph load_or_generate(Options& opts, Rng& rng) {
+  const std::string input = opts.get_string("input", "");
+  if (!input.empty()) {
+    std::ifstream in(input);
+    if (!in) {
+      std::cerr << "cannot open " << input << "\n";
+      std::exit(2);
+    }
+    return read_edge_list(in);
+  }
+  const std::string gen = opts.get_string("gen", "udg");
+  const auto n = static_cast<NodeId>(opts.get_int("n", 400));
+  if (gen == "udg") {
+    const double side = opts.get_double("side", 6.0);
+    const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
+    const auto comps = connected_components(gg.graph);
+    return induced_subgraph(gg.graph, comps.largest()).graph;
+  }
+  if (gen == "gnp") {
+    const double deg = opts.get_double("deg", 10.0);
+    return connected_gnp(n, deg / n, rng);
+  }
+  if (gen == "ba") return barabasi_albert(n, static_cast<NodeId>(opts.get_int("m", 3)), rng);
+  if (gen == "ws") {
+    return watts_strogatz(n, static_cast<NodeId>(opts.get_int("ring", 6)),
+                          opts.get_double("rewire", 0.1), rng);
+  }
+  if (gen == "grid") return grid_graph(n / 16 + 1, 16);
+  std::cerr << "unknown --gen " << gen << " (udg|gnp|ba|ws|grid)\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const std::string construction = opts.get_string("construction", "th2");
+  const double eps = opts.get_double("eps", 0.5);
+  const Dist k = static_cast<Dist>(opts.get_int("k", 1));
+  const double t = opts.get_double("t", 3.0);
+  const bool verify = !opts.get_flag("no-verify");
+  const std::string dot_path = opts.get_string("dot", "");
+  const std::string out_path = opts.get_string("save-graph", "");
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  Rng rng(seed);
+  Graph g = load_or_generate(opts, rng);
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+  for (const auto& unknown : opts.unknown_options()) {
+    std::cerr << "warning: unused option --" << unknown << "\n";
+  }
+
+  std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges() << " maxdeg="
+            << g.max_degree() << "\n";
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    write_edge_list(out, g);
+    std::cout << "graph saved to " << out_path << "\n";
+  }
+
+  Timer timer;
+  EdgeSet h(g);
+  std::string guarantee;
+  enum class Check { kRemote, kKConn, kClassic, kNone } check = Check::kNone;
+  Stretch stretch{1.0, 0.0};
+  if (construction == "th1") {
+    h = build_low_stretch_remote_spanner(g, eps);
+    stretch = Stretch{1.0 + eps, 1.0 - 2.0 * eps};
+    guarantee = "remote (" + format_double(stretch.alpha, 2) + "," +
+                format_double(stretch.beta, 2) + ")";
+    check = Check::kRemote;
+  } else if (construction == "th2") {
+    h = build_k_connecting_spanner(g, k);
+    stretch = Stretch{1.0, 0.0};
+    guarantee = std::to_string(k) + "-connecting remote (1,0)";
+    check = Check::kKConn;
+  } else if (construction == "th3") {
+    h = build_2connecting_spanner(g, k == 1 ? 2 : k);
+    stretch = Stretch{2.0, -1.0};
+    guarantee = "2-connecting remote (2,-1)";
+    check = Check::kKConn;
+  } else if (construction == "mpr") {
+    h = olsr_mpr_spanner(g);
+    stretch = Stretch{1.0, 0.0};
+    guarantee = "remote (1,0) via OLSR MPR";
+    check = Check::kRemote;
+  } else if (construction == "greedy") {
+    h = greedy_spanner(g, t);
+    stretch = Stretch{t, 0.0};
+    guarantee = "classical (" + format_double(t, 1) + ",0)";
+    check = Check::kClassic;
+  } else if (construction == "baswana") {
+    h = baswana_sen_spanner(g, k == 1 ? 2 : k, rng);
+    const double a = 2.0 * (k == 1 ? 2 : k) - 1.0;
+    stretch = Stretch{a, 0.0};
+    guarantee = "classical (" + format_double(a, 0) + ",0)";
+    check = Check::kClassic;
+  } else if (construction == "full") {
+    h = EdgeSet(g, true);
+    guarantee = "all edges";
+  } else {
+    std::cerr << "unknown --construction " << construction
+              << " (th1|th2|th3|mpr|greedy|baswana|full)\n";
+    return 2;
+  }
+  const double build_s = timer.seconds();
+
+  const auto stats = compute_spanner_stats(h);
+  Table table({"metric", "value"});
+  table.add_row({"construction", construction});
+  table.add_row({"guarantee", guarantee});
+  table.add_row({"edges", format_edges_with_fraction(stats)});
+  table.add_row({"edges/n", format_double(stats.edges_per_node, 2)});
+  table.add_row({"max degree in H", std::to_string(stats.max_degree)});
+  table.add_row({"build time (s)", format_double(build_s, 3)});
+
+  if (verify && check != Check::kNone) {
+    timer.reset();
+    bool ok = false;
+    double max_ratio = 0;
+    if (check == Check::kRemote) {
+      const auto r = check_remote_stretch(g, h, stretch);
+      ok = r.satisfied;
+      max_ratio = r.max_ratio;
+    } else if (check == Check::kKConn) {
+      const auto r = check_k_connecting_stretch(
+          g, h, check == Check::kKConn && construction == "th3" ? 2 : std::max<Dist>(k, 1),
+          stretch, 300, seed);
+      ok = r.satisfied;
+      max_ratio = r.max_ratio;
+    } else {
+      const auto r = check_spanner_stretch(g, h, stretch);
+      ok = r.satisfied;
+      max_ratio = r.max_ratio;
+    }
+    table.add_row({"verified", ok ? "yes" : "NO"});
+    table.add_row({"measured max ratio", format_double(max_ratio, 3)});
+    table.add_row({"verify time (s)", format_double(timer.seconds(), 3)});
+  }
+  table.print(std::cout);
+
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    out << to_dot(g, &h, "H");
+    std::cout << "DOT written to " << dot_path << "\n";
+  }
+  return 0;
+}

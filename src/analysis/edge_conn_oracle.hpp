@@ -1,0 +1,19 @@
+// Verification of the EDGE-connectivity extension conjectured in the
+// paper's concluding remarks: H is k-EDGE-connecting (alpha,beta) if for
+// all nonadjacent s,t and k' <= k,
+//     ed^{k'}_{H_s}(s,t) <= alpha * ed^{k'}_G(s,t) + k' * beta,
+// with ed^k the minimum total length of k edge-disjoint paths.
+#pragma once
+
+#include "analysis/kconn_oracle.hpp"
+
+namespace remspan {
+
+/// Same sampling/report contract as check_k_connecting_stretch, but for
+/// edge-disjoint paths.
+[[nodiscard]] KConnReport check_k_edge_connecting_stretch(const Graph& g, const EdgeSet& h,
+                                                          Dist k, const Stretch& stretch,
+                                                          std::size_t max_pairs = 0,
+                                                          std::uint64_t seed = 1);
+
+}  // namespace remspan

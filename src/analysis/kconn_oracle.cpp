@@ -1,0 +1,129 @@
+#include "analysis/kconn_oracle.hpp"
+
+#include <mutex>
+
+#include "analysis/edge_conn_oracle.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/edge_disjoint_paths.hpp"
+#include "graph/views.hpp"
+#include "util/thread_pool.hpp"
+
+namespace remspan {
+
+namespace {
+
+enum class PathMode { kNodeDisjoint, kEdgeDisjoint };
+
+template <PathMode Mode>
+DisjointPathsResult solve(const Graph& g, NodeId s, NodeId t, Dist k) {
+  if constexpr (Mode == PathMode::kNodeDisjoint) {
+    return min_disjoint_paths(GraphView(g), s, t, k);
+  } else {
+    return min_edge_disjoint_paths(GraphView(g), s, t, k);
+  }
+}
+
+template <PathMode Mode>
+DisjointPathsResult solve_augmented(const EdgeSet& h, NodeId s, NodeId t, Dist k) {
+  if constexpr (Mode == PathMode::kNodeDisjoint) {
+    return min_disjoint_paths(AugmentedView(h, s), s, t, k);
+  } else {
+    return min_edge_disjoint_paths(AugmentedView(h, s), s, t, k);
+  }
+}
+
+template <PathMode Mode>
+KConnReport check_impl(const Graph& g, const EdgeSet& h, Dist k, const Stretch& stretch,
+                       std::size_t max_pairs, std::uint64_t seed) {
+  REMSPAN_CHECK(k >= 1);
+  const NodeId n = g.num_nodes();
+
+  // Candidate ordered pairs: nonadjacent, distinct (the remote-spanner
+  // definitions only constrain nonadjacent pairs).
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (NodeId s = 0; s < n; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      if (s == t || g.has_edge(s, t)) continue;
+      pairs.emplace_back(s, t);
+    }
+  }
+  if (max_pairs != 0 && pairs.size() > max_pairs) {
+    Rng rng(seed);
+    const auto picks = rng.sample_without_replacement(pairs.size(), max_pairs);
+    std::vector<std::pair<NodeId, NodeId>> sampled;
+    sampled.reserve(picks.size());
+    for (const auto idx : picks) sampled.push_back(pairs[idx]);
+    pairs = std::move(sampled);
+  }
+
+  KConnReport report;
+  std::mutex merge_mutex;
+  parallel_for(0, pairs.size(), [&](std::size_t i) {
+    const auto [s, t] = pairs[i];
+    const auto in_g = solve<Mode>(g, s, t, k);
+    if (in_g.connectivity() == 0) return;  // disconnected pair: unconstrained
+    const auto in_hs = solve_augmented<Mode>(h, s, t, k);
+
+    KConnReport local;
+    local.pairs_checked = 1;
+    for (Dist kp = 1; kp <= in_g.connectivity(); ++kp) {
+      const std::uint64_t dg = in_g.d(kp);
+      const std::uint64_t dh = in_hs.d(kp);
+      const double bound = stretch.alpha * static_cast<double>(dg) +
+                           static_cast<double>(kp) * stretch.beta;
+      if (dh == DisjointPathsResult::kNoPaths) {
+        ++local.connectivity_losses;
+        ++local.violations;
+        local.satisfied = false;
+        local.max_excess = std::numeric_limits<double>::infinity();
+        local.worst_s = s;
+        local.worst_t = t;
+        local.worst_kprime = kp;
+        continue;
+      }
+      const double excess = static_cast<double>(dh) - bound;
+      const double ratio = static_cast<double>(dh) / static_cast<double>(dg);
+      if (ratio > local.max_ratio) local.max_ratio = ratio;
+      if (excess > local.max_excess) {
+        local.max_excess = excess;
+        local.worst_s = s;
+        local.worst_t = t;
+        local.worst_kprime = kp;
+      }
+      if (excess > 1e-9) {
+        ++local.violations;
+        local.satisfied = false;
+      }
+    }
+
+    const std::lock_guard lock(merge_mutex);
+    report.pairs_checked += local.pairs_checked;
+    report.violations += local.violations;
+    report.connectivity_losses += local.connectivity_losses;
+    report.satisfied = report.satisfied && local.satisfied;
+    if (local.max_ratio > report.max_ratio) report.max_ratio = local.max_ratio;
+    if (local.max_excess > report.max_excess) {
+      report.max_excess = local.max_excess;
+      report.worst_s = local.worst_s;
+      report.worst_t = local.worst_t;
+      report.worst_kprime = local.worst_kprime;
+    }
+  });
+  return report;
+}
+
+}  // namespace
+
+KConnReport check_k_connecting_stretch(const Graph& g, const EdgeSet& h, Dist k,
+                                       const Stretch& stretch, std::size_t max_pairs,
+                                       std::uint64_t seed) {
+  return check_impl<PathMode::kNodeDisjoint>(g, h, k, stretch, max_pairs, seed);
+}
+
+KConnReport check_k_edge_connecting_stretch(const Graph& g, const EdgeSet& h, Dist k,
+                                            const Stretch& stretch, std::size_t max_pairs,
+                                            std::uint64_t seed) {
+  return check_impl<PathMode::kEdgeDisjoint>(g, h, k, stretch, max_pairs, seed);
+}
+
+}  // namespace remspan

@@ -1,0 +1,45 @@
+// Exact verification of the k-connecting remote-spanner property
+// (Section 3): for all nonadjacent s,t and every k' <= k,
+//     d^{k'}_{H_s}(s,t) <= alpha * d^{k'}_G(s,t) + k' * beta,
+// and in particular s,t must stay k'-connected in H_s whenever they are
+// k'-connected in G. Each pair costs two min-cost-flow runs (one on G, one
+// on H_s), so the oracle checks either every nonadjacent pair or a seeded
+// random sample.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/params.hpp"
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+
+struct KConnReport {
+  bool satisfied = true;
+  std::size_t pairs_checked = 0;
+  std::size_t violations = 0;
+  /// Connectivity losses: pairs (s,t) and k' where G has k' disjoint paths
+  /// but H_s does not.
+  std::size_t connectivity_losses = 0;
+  /// Worst d^{k'}_{H_s} - (alpha d^{k'}_G + k' beta) over checked tuples.
+  double max_excess = 0.0;
+  /// Worst multiplicative ratio d^{k'}_{H_s} / d^{k'}_G.
+  double max_ratio = 1.0;
+  NodeId worst_s = kInvalidNode;
+  NodeId worst_t = kInvalidNode;
+  Dist worst_kprime = 0;
+};
+
+/// Checks the property for every k' <= k on all nonadjacent connected pairs
+/// (max_pairs == 0), or on a seeded sample of that many pairs. Pairs are
+/// ordered: (s,t) and (t,s) are distinct checks (the definition is
+/// asymmetric in s).
+[[nodiscard]] KConnReport check_k_connecting_stretch(const Graph& g, const EdgeSet& h, Dist k,
+                                                     const Stretch& stretch,
+                                                     std::size_t max_pairs = 0,
+                                                     std::uint64_t seed = 1);
+
+}  // namespace remspan

@@ -1,0 +1,36 @@
+#include "analysis/spanner_stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace remspan {
+
+SpannerStats compute_spanner_stats(const EdgeSet& h) {
+  const Graph& g = h.graph();
+  SpannerStats stats;
+  stats.input_edges = g.num_edges();
+  stats.spanner_edges = h.size();
+  if (stats.input_edges > 0) {
+    stats.edge_fraction =
+        static_cast<double>(stats.spanner_edges) / static_cast<double>(stats.input_edges);
+  }
+  const NodeId n = g.num_nodes();
+  if (n > 0) {
+    for (NodeId v = 0; v < n; ++v) {
+      stats.max_degree = std::max(stats.max_degree, h.degree_in(v));
+    }
+    stats.avg_degree = 2.0 * static_cast<double>(stats.spanner_edges) / static_cast<double>(n);
+    stats.edges_per_node = static_cast<double>(stats.spanner_edges) / static_cast<double>(n);
+  }
+  return stats;
+}
+
+std::string format_edges_with_fraction(const SpannerStats& stats) {
+  std::ostringstream out;
+  out << stats.spanner_edges << " (" << format_double(100.0 * stats.edge_fraction, 1) << "%)";
+  return out.str();
+}
+
+}  // namespace remspan

@@ -1,0 +1,27 @@
+// Descriptive statistics of a spanner relative to its input graph, shared
+// by the bench binaries.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan {
+
+struct SpannerStats {
+  std::size_t input_edges = 0;
+  std::size_t spanner_edges = 0;
+  double edge_fraction = 0.0;    // spanner / input
+  double avg_degree = 0.0;       // in the spanner
+  Dist max_degree = 0;           // in the spanner
+  double edges_per_node = 0.0;   // spanner_edges / n, the Theorem 1/3 figure
+};
+
+[[nodiscard]] SpannerStats compute_spanner_stats(const EdgeSet& h);
+
+/// "1234 (12.3%)" style rendering used in bench tables.
+[[nodiscard]] std::string format_edges_with_fraction(const SpannerStats& stats);
+
+}  // namespace remspan

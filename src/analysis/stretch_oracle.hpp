@@ -1,0 +1,54 @@
+// Exact verification of the remote-spanner property.
+//
+// For every ordered pair (u, v): d_{H_u}(u,v) <= alpha * d_G(u,v) + beta,
+// where H_u is H plus all of u's G-edges. Rather than running one BFS per
+// augmented graph, the oracle uses the identity
+//     d_{H_u}(u,v) = min_{x in N_G(u)} 1 + d_H(x, v)      (u != v)
+// (a shortest H_u-path leaves u exactly once, through some G-neighbor x,
+// and continues inside H; H-paths may freely revisit edges of H incident
+// to u since those are in H). One parallel APSP over H serves all n
+// augmentations.
+#pragma once
+
+#include <cstddef>
+
+#include "core/params.hpp"
+#include "graph/distances.hpp"
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan {
+
+/// d_{H_u}(u, v) for all ordered pairs (rows indexed by u). Diagonal is 0.
+[[nodiscard]] DistanceMatrix remote_distances(const Graph& g, const EdgeSet& h);
+
+struct StretchReport {
+  bool satisfied = true;
+  std::size_t pairs_checked = 0;
+  std::size_t violations = 0;
+  /// Worst multiplicative ratio d_{H_u}(u,v) / d_G(u,v) over nonadjacent
+  /// connected pairs (1.0 when no such pair exists).
+  double max_ratio = 1.0;
+  double avg_ratio = 1.0;
+  /// Worst additive excess d_{H_u}(u,v) - (alpha d_G(u,v) + beta); <= 0
+  /// iff satisfied.
+  double max_excess = 0.0;
+  NodeId worst_u = kInvalidNode;
+  NodeId worst_v = kInvalidNode;
+  Dist worst_dg = 0;
+  Dist worst_dhu = 0;
+};
+
+/// Checks the (alpha, beta) remote-spanner property exactly over all pairs.
+/// Pairs disconnected in G are skipped; pairs connected in G but not in H_u
+/// count as violations (a remote-spanner must preserve reachability).
+[[nodiscard]] StretchReport check_remote_stretch(const Graph& g, const EdgeSet& h,
+                                                 const Stretch& stretch);
+
+/// Same check for a classical spanner (distances in H itself, no
+/// augmentation); used to validate the baselines and the "(alpha,beta)-
+/// spanner => (alpha, beta-alpha+1)-remote-spanner" related-work claim.
+[[nodiscard]] StretchReport check_spanner_stretch(const Graph& g, const EdgeSet& h,
+                                                  const Stretch& stretch);
+
+}  // namespace remspan

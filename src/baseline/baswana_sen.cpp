@@ -1,0 +1,88 @@
+#include "baseline/baswana_sen.hpp"
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace remspan {
+
+EdgeSet baswana_sen_spanner(const Graph& g, Dist k, Rng& rng) {
+  REMSPAN_CHECK(k >= 1);
+  const NodeId n = g.num_nodes();
+  EdgeSet spanner(g);
+  if (k == 1 || n == 0) {
+    // A (1,0)-spanner must keep every edge.
+    return EdgeSet(g, true);
+  }
+
+  // cluster[v]: id of the cluster v currently belongs to (the id of its
+  // center), or kInvalidNode once v has fallen out of the clustering.
+  std::vector<NodeId> cluster(n);
+  for (NodeId v = 0; v < n; ++v) cluster[v] = v;
+  const double sample_prob = std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
+
+  // Phase 1: k-1 rounds of cluster sampling.
+  for (Dist round = 0; round + 1 < k; ++round) {
+    // Sample the surviving cluster ids.
+    std::unordered_set<NodeId> centers;
+    for (NodeId v = 0; v < n; ++v) {
+      if (cluster[v] != kInvalidNode) centers.insert(cluster[v]);
+    }
+    std::unordered_set<NodeId> sampled;
+    for (const NodeId c : centers) {
+      if (rng.bernoulli(sample_prob)) sampled.insert(c);
+    }
+
+    std::vector<NodeId> next_cluster(cluster);
+    for (NodeId v = 0; v < n; ++v) {
+      if (cluster[v] == kInvalidNode) continue;
+      if (sampled.contains(cluster[v])) continue;  // survives as is
+      // v's cluster died: look for an adjacent sampled cluster.
+      NodeId adopt_via = kInvalidNode;
+      for (const NodeId w : g.neighbors(v)) {
+        const NodeId cw = cluster[w];
+        if (cw != kInvalidNode && sampled.contains(cw)) {
+          adopt_via = w;
+          break;  // neighbors are id-sorted: deterministic pick
+        }
+      }
+      if (adopt_via != kInvalidNode) {
+        spanner.insert(v, adopt_via);
+        next_cluster[v] = cluster[adopt_via];
+      } else {
+        // No sampled cluster nearby: connect to every neighboring cluster
+        // once and leave the clustering.
+        std::unordered_map<NodeId, NodeId> per_cluster;  // cluster -> witness
+        for (const NodeId w : g.neighbors(v)) {
+          const NodeId cw = cluster[w];
+          if (cw == kInvalidNode || cw == cluster[v]) continue;
+          per_cluster.try_emplace(cw, w);
+        }
+        for (const auto& [c, w] : per_cluster) spanner.insert(v, w);
+        next_cluster[v] = kInvalidNode;
+      }
+    }
+    cluster.swap(next_cluster);
+  }
+
+  // Phase 2: every vertex joins each remaining neighboring cluster once.
+  for (NodeId v = 0; v < n; ++v) {
+    std::unordered_map<NodeId, NodeId> per_cluster;
+    for (const NodeId w : g.neighbors(v)) {
+      const NodeId cw = cluster[w];
+      if (cw == kInvalidNode || cw == cluster[v]) continue;
+      per_cluster.try_emplace(cw, w);
+    }
+    for (const auto& [c, w] : per_cluster) spanner.insert(v, w);
+  }
+
+  // Intra-cluster edges of the final clustering: vertices of one cluster
+  // hang off its center through the spanner edges added when adopting, but
+  // edges between same-cluster vertices may still be needed for stretch
+  // between them... they are not: the cluster is a star of radius <= k-1
+  // inside the spanner by construction. Edges with a dead endpoint were
+  // handled in the round the endpoint died.
+  return spanner;
+}
+
+}  // namespace remspan

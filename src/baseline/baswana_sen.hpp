@@ -1,0 +1,20 @@
+// Baswana-Sen randomized (2k-1, 0)-spanner for unweighted graphs
+// (Baswana & Sen, "A simple and linear time randomized algorithm for
+// computing sparse spanners in weighted graphs", 2007; unweighted
+// specialization). Expected size O(k * n^{1+1/k}).
+//
+// This is the standard comparator for the "(k, k-1)-span. / O(k n^{1+1/k})"
+// row of Table 1: the classical size/stretch trade-off that remote-spanners
+// are measured against.
+#pragma once
+
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+
+/// Computes a (2k-1, 0)-spanner, k >= 1. k = 1 returns all edges.
+[[nodiscard]] EdgeSet baswana_sen_spanner(const Graph& g, Dist k, Rng& rng);
+
+}  // namespace remspan

@@ -1,0 +1,37 @@
+// Classical greedy spanners — the comparators for Table 1's spanner rows.
+//
+// Unweighted: processing edges in canonical order and keeping (u,v) iff the
+// current spanner distance exceeds t yields a (t,0)-spanner (t = 2k-1 gives
+// the classic O(n^{1+1/k}) size bound). By the paper's Section 1.2, any
+// (alpha,beta)-spanner is an (alpha, beta-alpha+1)-remote-spanner, so these
+// also serve as remote-spanner baselines.
+//
+// Weighted (geometric): edges sorted by metric length, kept iff the current
+// weighted spanner distance exceeds t * length(e). With t = 1 + eps on the
+// unit ball graph of a doubling metric this reproduces the known-distance
+// (1+eps, 0)-spanner row of Table 1 (Damian et al. [9] achieve it
+// distributedly; the greedy is the standard sequential equivalent).
+#pragma once
+
+#include "geom/ball_graph.hpp"
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan {
+
+/// Unweighted greedy (t,0)-spanner, t >= 1.
+[[nodiscard]] EdgeSet greedy_spanner(const Graph& g, double t);
+
+/// Weighted greedy (t,0)-spanner over the metric lengths of a geometric
+/// graph (stretch measured in summed edge lengths).
+[[nodiscard]] EdgeSet greedy_spanner_weighted(const GeometricGraph& gg, double t);
+
+/// Layered fault-tolerant geometric spanner: k+1 edge-disjoint greedy
+/// t-spanner layers. Removing any k vertices leaves at least one intact
+/// detour layer between surviving neighbors in practice; stand-in for the
+/// k-fault-tolerant (1+eps,0)-spanners of Czumaj-Zhao (Table 1 row 8).
+/// Produces O((k+1) * n) edges on doubling instances.
+[[nodiscard]] EdgeSet layered_fault_tolerant_spanner(const GeometricGraph& gg, double t,
+                                                     Dist k);
+
+}  // namespace remspan

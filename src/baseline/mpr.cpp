@@ -1,0 +1,90 @@
+#include "baseline/mpr.hpp"
+
+#include <algorithm>
+
+#include "graph/bfs.hpp"
+#include "util/thread_pool.hpp"
+
+namespace remspan {
+
+std::vector<NodeId> olsr_mpr_set(const Graph& g, NodeId u) {
+  BoundedBfs bfs(g.num_nodes());
+  bfs.run(GraphView(g), u, 2);
+
+  // N2: strict two-hop neighborhood.
+  std::vector<NodeId> two_hop;
+  for (const NodeId v : bfs.order()) {
+    if (bfs.dist(v) == 2) two_hop.push_back(v);
+  }
+
+  std::vector<std::uint8_t> covered(g.num_nodes(), 0);
+  std::vector<std::uint8_t> in_mpr(g.num_nodes(), 0);
+  std::size_t uncovered = two_hop.size();
+  std::vector<NodeId> mpr;
+
+  auto add_mpr = [&](NodeId x) {
+    in_mpr[x] = 1;
+    mpr.push_back(x);
+    for (const NodeId w : g.neighbors(x)) {
+      if (bfs.dist(w) == 2 && covered[w] == 0) {
+        covered[w] = 1;
+        --uncovered;
+      }
+    }
+  };
+
+  // Step 1 (RFC): neighbors that are the only route to some 2-hop node.
+  for (const NodeId v : two_hop) {
+    NodeId sole = kInvalidNode;
+    int count = 0;
+    for (const NodeId w : g.neighbors(v)) {
+      if (bfs.dist(w) == 1) {
+        sole = w;
+        if (++count > 1) break;
+      }
+    }
+    if (count == 1 && in_mpr[sole] == 0) add_mpr(sole);
+  }
+
+  // Step 2 (RFC): greedy by reachability (uncovered 2-hop nodes reached),
+  // ties by degree (higher first), then id.
+  while (uncovered > 0) {
+    NodeId best = kInvalidNode;
+    std::size_t best_reach = 0;
+    for (const NodeId x : g.neighbors(u)) {
+      if (in_mpr[x] != 0) continue;
+      std::size_t reach = 0;
+      for (const NodeId w : g.neighbors(x)) {
+        reach += (bfs.dist(w) == 2 && covered[w] == 0);
+      }
+      if (reach == 0) continue;
+      const bool better =
+          reach > best_reach ||
+          (reach == best_reach &&
+           (g.degree(x) > g.degree(best) || (g.degree(x) == g.degree(best) && x < best)));
+      if (best == kInvalidNode || better) {
+        best_reach = reach;
+        best = x;
+      }
+    }
+    REMSPAN_CHECK(best != kInvalidNode);
+    add_mpr(best);
+  }
+
+  std::sort(mpr.begin(), mpr.end());
+  return mpr;
+}
+
+EdgeSet olsr_mpr_spanner(const Graph& g) {
+  auto& pool = ThreadPool::global();
+  std::vector<EdgeSet> partial(pool.size() + 1, EdgeSet(g));
+  pool.parallel_for_workers(0, g.num_nodes(), [&](std::size_t u, std::size_t worker) {
+    const auto mpr = olsr_mpr_set(g, static_cast<NodeId>(u));
+    for (const NodeId m : mpr) partial[worker].insert(static_cast<NodeId>(u), m);
+  });
+  EdgeSet spanner(g);
+  for (const EdgeSet& part : partial) spanner |= part;
+  return spanner;
+}
+
+}  // namespace remspan

@@ -1,0 +1,26 @@
+// OLSR multipoint-relay (MPR) selection, RFC 3626 Section 8.3.1 heuristic.
+//
+// The paper observes (Section 1.2) that multipoint relays as used by OLSR
+// are exactly (2,0)-dominating trees, and that their union forms a
+// (1,0)-remote-spanner. This module implements the RFC's selection
+// heuristic (cover uniquely-reachable 2-hop nodes first, then greedy by
+// reachability with degree tie-break), giving an independently-derived
+// baseline to compare against DomTreeGdy_{2,0,1}.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan {
+
+/// MPR set of node u per the RFC heuristic (subset of N(u) covering every
+/// strict 2-hop neighbor).
+[[nodiscard]] std::vector<NodeId> olsr_mpr_set(const Graph& g, NodeId u);
+
+/// Union over all nodes of their MPR star edges {u, m}: the OLSR advertised
+/// sub-graph, a (1,0)-remote-spanner.
+[[nodiscard]] EdgeSet olsr_mpr_spanner(const Graph& g);
+
+}  // namespace remspan

@@ -1,0 +1,325 @@
+#include "core/dominating_tree.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace remspan {
+
+DomTreeBuilder::DomTreeBuilder(const Graph& g)
+    : g_(&g),
+      bfs_(g.num_nodes()),
+      in_s_(g.num_nodes(), 0),
+      in_x_(g.num_nodes(), 0),
+      cov_(g.num_nodes(), 0),
+      rem_(g.num_nodes(), 0),
+      branches_(g.num_nodes()) {}
+
+void DomTreeBuilder::add_parent_chain(RootedTree& tree, NodeId x) {
+  // Collect the BFS ancestors of x that are not yet in the tree, then attach
+  // them top-down. Because every chain comes from the same root BFS, the
+  // union stays a tree and d_T(root, x) = d_G(root, x).
+  NodeId chain[64];
+  std::size_t len = 0;
+  while (!tree.contains(x)) {
+    REMSPAN_CHECK(len < 64);
+    chain[len++] = x;
+    x = bfs_.parent(x);
+    REMSPAN_CHECK(x != kInvalidNode);
+  }
+  while (len > 0) {
+    const NodeId child = chain[--len];
+    tree.add_child(x, child);
+    x = child;
+  }
+}
+
+void DomTreeBuilder::reset_flags() {
+  for (const NodeId v : bfs_.order()) {
+    in_s_[v] = 0;
+    in_x_[v] = 0;
+    cov_[v] = 0;
+    rem_[v] = 0;
+    branches_[v].clear();
+  }
+}
+
+RootedTree DomTreeBuilder::greedy(NodeId u, Dist r, Dist beta) {
+  REMSPAN_CHECK(r >= 2);
+  RootedTree tree(u);
+  const Dist depth_needed = std::max(r, r - 1 + beta);
+  bfs_.run(GraphView(*g_), u, depth_needed);
+
+  std::vector<NodeId> candidates;
+  for (Dist shell = 2; shell <= r; ++shell) {
+    // S := nodes at distance exactly `shell`;
+    // X := nodes in the distance range [shell-1, shell-1+beta].
+    std::size_t s_count = 0;
+    candidates.clear();
+    for (const NodeId v : bfs_.order()) {
+      const Dist d = bfs_.dist(v);
+      if (d == shell) {
+        in_s_[v] = 1;
+        ++s_count;
+      }
+      if (d >= shell - 1 && d <= shell - 1 + beta) {
+        in_x_[v] = 1;
+        candidates.push_back(v);
+      }
+    }
+    while (s_count > 0) {
+      // Greedy set-cover pick: the candidate outside M covering the most
+      // still-uncovered shell nodes; ties go to the smallest id.
+      NodeId best = kInvalidNode;
+      std::size_t best_cover = 0;
+      for (const NodeId x : candidates) {
+        if (in_x_[x] != 1) continue;  // already picked into M
+        std::size_t cover = in_s_[x];
+        for (const NodeId y : g_->neighbors(x)) cover += in_s_[y];
+        if (cover > best_cover || (cover == best_cover && cover > 0 && x < best)) {
+          best_cover = cover;
+          best = x;
+        }
+      }
+      // Uncovered shell nodes always retain an unpicked BFS predecessor in
+      // X, so the greedy can never stall (Proposition 2's argument).
+      REMSPAN_CHECK(best != kInvalidNode && best_cover > 0);
+      in_x_[best] = 2;
+      add_parent_chain(tree, best);
+      if (in_s_[best] != 0) {
+        in_s_[best] = 0;
+        --s_count;
+      }
+      for (const NodeId y : g_->neighbors(best)) {
+        if (in_s_[y] != 0) {
+          in_s_[y] = 0;
+          --s_count;
+        }
+      }
+    }
+    for (const NodeId x : candidates) in_x_[x] = 0;
+  }
+  reset_flags();
+  return tree;
+}
+
+RootedTree DomTreeBuilder::mis(NodeId u, Dist r) {
+  REMSPAN_CHECK(r >= 2);
+  RootedTree tree(u);
+  bfs_.run(GraphView(*g_), u, r);
+
+  // B := B(u, r) \ B(u, 1), processed by (distance, id): the BFS order is
+  // already sorted by distance, so a stable sort by id inside each shell
+  // gives the deterministic "pick x at minimal distance" of Algorithm 2.
+  std::vector<NodeId> shell_nodes;
+  for (const NodeId v : bfs_.order()) {
+    if (bfs_.dist(v) >= 2) {
+      in_s_[v] = 1;
+      shell_nodes.push_back(v);
+    }
+  }
+  std::sort(shell_nodes.begin(), shell_nodes.end(), [&](NodeId a, NodeId b) {
+    return bfs_.dist(a) != bfs_.dist(b) ? bfs_.dist(a) < bfs_.dist(b) : a < b;
+  });
+
+  for (const NodeId x : shell_nodes) {
+    if (in_s_[x] == 0) continue;
+    // x is the remaining node of B at minimal distance: add it to the MIS.
+    add_parent_chain(tree, x);
+    in_s_[x] = 0;
+    for (const NodeId y : g_->neighbors(x)) in_s_[y] = 0;
+  }
+  reset_flags();
+  return tree;
+}
+
+RootedTree DomTreeBuilder::greedy_k(NodeId u, Dist k) {
+  REMSPAN_CHECK(k >= 1);
+  RootedTree tree(u);
+  bfs_.run(GraphView(*g_), u, 2);
+
+  // S := distance-2 shell. cov_[v] counts |N(v) ∩ M|, rem_[v] counts the
+  // common neighbors of v and u not yet picked into M.
+  std::size_t s_count = 0;
+  for (const NodeId v : bfs_.order()) {
+    if (bfs_.dist(v) == 2) {
+      in_s_[v] = 1;
+      ++s_count;
+    }
+  }
+  for (const NodeId x : g_->neighbors(u)) {
+    for (const NodeId y : g_->neighbors(x)) {
+      if (in_s_[y] != 0) ++rem_[y];
+    }
+  }
+
+  while (s_count > 0) {
+    NodeId best = kInvalidNode;
+    std::size_t best_cover = 0;
+    for (const NodeId x : g_->neighbors(u)) {
+      if (in_x_[x] != 0) continue;  // already in M
+      std::size_t cover = 0;
+      for (const NodeId y : g_->neighbors(x)) cover += in_s_[y];
+      if (cover > best_cover || (cover == best_cover && cover > 0 && x < best)) {
+        best_cover = cover;
+        best = x;
+      }
+    }
+    REMSPAN_CHECK(best != kInvalidNode && best_cover > 0);
+    in_x_[best] = 1;
+    tree.add_child(u, best);
+    for (const NodeId y : g_->neighbors(best)) {
+      if (in_s_[y] == 0) continue;
+      ++cov_[y];
+      --rem_[y];
+      // Covered k times, or every common neighbor is now in M: done with y.
+      if (cov_[y] >= k || rem_[y] == 0) {
+        in_s_[y] = 0;
+        --s_count;
+      }
+    }
+  }
+  reset_flags();
+  return tree;
+}
+
+RootedTree DomTreeBuilder::mis_k(NodeId u, Dist k) {
+  REMSPAN_CHECK(k >= 1);
+  RootedTree tree(u);
+  bfs_.run(GraphView(*g_), u, 2);
+
+  // S := distance-2 shell (kept in id order for deterministic picks);
+  // rem_[v] = |(N(v) ∩ N(u)) \ V(T)|; branches_[v] = distinct tree branches
+  // holding a neighbor of v within depth 2.
+  std::vector<NodeId> shell;
+  std::size_t s_count = 0;
+  for (const NodeId v : bfs_.order()) {
+    if (bfs_.dist(v) == 2) {
+      in_s_[v] = 1;
+      shell.push_back(v);
+      ++s_count;
+    }
+  }
+  std::sort(shell.begin(), shell.end());
+  for (const NodeId x : g_->neighbors(u)) {
+    for (const NodeId y : g_->neighbors(x)) {
+      if (in_s_[y] != 0) ++rem_[y];
+    }
+  }
+
+  // Attaches `node` under `parent` and updates the shell bookkeeping: a
+  // node entering V(T) extends the branch sets of its shell neighbors and,
+  // when it is a neighbor of u, consumes one "available common neighbor"
+  // from each adjacent shell node.
+  auto attach = [&](NodeId parent, NodeId node) {
+    tree.add_child(parent, node);
+    const NodeId branch = tree.branch(node);
+    const bool depth_one = tree.depth(node) == 1;
+    for (const NodeId w : g_->neighbors(node)) {
+      if (in_s_[w] == 0) continue;
+      if (depth_one) --rem_[w];
+      auto& br = branches_[w];
+      if (std::find(br.begin(), br.end(), branch) == br.end()) br.push_back(branch);
+      if (rem_[w] == 0 || br.size() >= k) {
+        in_s_[w] = 0;
+        --s_count;
+      }
+    }
+  };
+
+  std::vector<NodeId> ys;
+  for (Dist round = 1; round <= k && s_count > 0; ++round) {
+    // X := S at round start.
+    for (const NodeId v : shell) in_x_[v] = in_s_[v];
+    for (const NodeId x : shell) {
+      if (s_count == 0) break;
+      if (in_x_[x] == 0 || in_s_[x] == 0) continue;
+      // Pick x into this round's MIS. Its available common neighbors with u
+      // are fresh depth-1 attachment points.
+      ys.clear();
+      for (const NodeId y : g_->neighbors(x)) {
+        if (g_->has_edge(u, y) && !tree.contains(y)) ys.push_back(y);
+      }
+      // x in S implies rem_[x] > 0, so at least one attachment point exists.
+      REMSPAN_CHECK(!ys.empty());
+      const std::size_t count = std::min<std::size_t>(k, ys.size());
+      attach(u, ys[0]);
+      // x may have been removed from S by attaching ys[0]; it still enters
+      // the tree (its own branch can dominate other shell nodes).
+      attach(ys[0], x);
+      for (std::size_t i = 1; i < count; ++i) attach(u, ys[i]);
+      // X := X \ B(x, 1).
+      in_x_[x] = 0;
+      for (const NodeId y : g_->neighbors(x)) in_x_[y] = 0;
+    }
+  }
+  // Proposition 7: k rounds of MIS domination always empty the shell.
+  REMSPAN_CHECK(s_count == 0);
+  reset_flags();
+  return tree;
+}
+
+bool is_dominating_tree(const Graph& g, const RootedTree& tree, Dist r, Dist beta) {
+  if (!tree_is_valid_subgraph(g, tree)) return false;
+  const NodeId u = tree.root();
+  const auto dist = bfs_distances(GraphView(g), u, r);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Dist d = dist[v];
+    if (d < 2 || d > r || d == kUnreachable) continue;
+    bool dominated = false;
+    for (const NodeId x : g.neighbors(v)) {
+      const Dist depth = tree.depth(x);
+      if (depth != kUnreachable && depth <= d - 1 + beta) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) return false;
+  }
+  return true;
+}
+
+bool is_k_connecting_dominating_tree(const Graph& g, const RootedTree& tree, Dist k,
+                                     Dist beta) {
+  if (!tree_is_valid_subgraph(g, tree)) return false;
+  const NodeId u = tree.root();
+  const auto dist = bfs_distances(GraphView(g), u, 2);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] != 2) continue;
+    // Alternative A: every common neighbor of u and v is attached by a root
+    // edge of the tree.
+    bool all_attached = true;
+    for (const NodeId w : g.neighbors(v)) {
+      if (g.has_edge(u, w) && tree.depth(w) != 1) {
+        all_attached = false;
+        break;
+      }
+    }
+    if (all_attached) continue;
+    // Alternative B: k neighbors of v within tree depth 1 + beta on k
+    // distinct branches (their root paths share only the root).
+    std::unordered_set<NodeId> branches;
+    for (const NodeId w : g.neighbors(v)) {
+      const Dist depth = tree.depth(w);
+      if (depth >= 1 && depth != kUnreachable && depth <= 1 + beta) {
+        branches.insert(tree.branch(w));
+      }
+    }
+    if (branches.size() < k) return false;
+  }
+  return true;
+}
+
+bool tree_is_valid_subgraph(const Graph& g, const RootedTree& tree) {
+  for (const NodeId v : tree.nodes()) {
+    if (v == tree.root()) {
+      REMSPAN_CHECK(tree.depth(v) == 0);
+      continue;
+    }
+    const NodeId p = tree.parent(v);
+    if (!g.has_edge(p, v)) return false;
+    REMSPAN_CHECK(tree.depth(v) == tree.depth(p) + 1);
+  }
+  return true;
+}
+
+}  // namespace remspan

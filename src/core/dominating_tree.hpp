@@ -1,0 +1,88 @@
+// The paper's four dominating-tree algorithms (Sections 2.2 and 3.3), one
+// per-root builder each:
+//
+//   greedy(u, r, beta)  — Algorithm 1, DomTreeGdy_{r,beta}: for each shell
+//       distance r' = 2..r, greedily set-covers the shell with balls of
+//       candidates in the [r'-1, r'-1+beta] range. Within
+//       (1+beta)(r+beta-1)(1+log Delta) of the optimal tree (Prop. 2).
+//   mis(u, r)           — Algorithm 2, DomTreeMIS_{r,1}: grows a maximal
+//       independent set of B(u,r)\B(u,1) by increasing distance; O(r^{p+1})
+//       edges on doubling unit ball graphs (Prop. 3).
+//   greedy_k(u, k)      — Algorithm 4, DomTreeGdy_{2,0,k}: greedy k-cover of
+//       the distance-2 shell by neighbors of u; within 1+log Delta of
+//       optimal (Prop. 6). Generalizes OLSR multipoint-relay selection.
+//   mis_k(u, k)         — Algorithm 5, DomTreeMIS_{2,1,k}: k rounds of MIS
+//       over the distance-2 shell, attaching each pick through fresh common
+//       neighbors; O(k^2) edges on doubling UBGs (Prop. 7).
+//
+// All four attach nodes through BFS-parent chains of the same root BFS, so
+// each result is a genuine tree with d_T(u,x) = d_G(u,x).
+#pragma once
+
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/graph.hpp"
+#include "graph/tree.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// Reusable per-thread builder: all scratch arrays are kept between calls
+/// and reset in O(|ball|) so building trees for every root of a graph costs
+/// the sum of local work, not n times global resets.
+class DomTreeBuilder {
+ public:
+  explicit DomTreeBuilder(const Graph& g);
+
+  /// Algorithm 1: (r, beta)-dominating tree for u. Requires r >= 2.
+  [[nodiscard]] RootedTree greedy(NodeId u, Dist r, Dist beta);
+
+  /// Algorithm 2: (r, 1)-dominating tree for u. Requires r >= 2.
+  [[nodiscard]] RootedTree mis(NodeId u, Dist r);
+
+  /// Algorithm 4: k-connecting (2, 0)-dominating tree for u (k >= 1). For
+  /// k = 1 this is exactly an OLSR multipoint-relay set with its links.
+  [[nodiscard]] RootedTree greedy_k(NodeId u, Dist k);
+
+  /// Algorithm 5: k-connecting (2, 1)-dominating tree for u (k >= 1).
+  [[nodiscard]] RootedTree mis_k(NodeId u, Dist k);
+
+ private:
+  /// Adds the BFS-parent chain from x up to the first node already in the
+  /// tree. Requires x to be reached by the last bfs_ run from tree.root().
+  void add_parent_chain(RootedTree& tree, NodeId x);
+
+  /// Clears the per-node flags for every node the last BFS touched.
+  void reset_flags();
+
+  const Graph* g_;
+  BoundedBfs bfs_;
+  // in_s_: node still needs covering; cov_: generic per-node counter;
+  // branches_: distinct tree branches adjacent to a shell node (mis_k).
+  std::vector<std::uint8_t> in_s_;
+  std::vector<std::uint8_t> in_x_;
+  std::vector<Dist> cov_;
+  std::vector<Dist> rem_;
+  std::vector<std::vector<NodeId>> branches_;
+};
+
+// --- property checkers (used by tests and the approximation benches) -------
+
+/// Exhaustively checks the (r,beta)-dominating-tree condition: every v with
+/// 2 <= d_G(u,v) = r' <= r has a neighbor x in V(T) with
+/// d_T(u,x) <= r' - 1 + beta.
+[[nodiscard]] bool is_dominating_tree(const Graph& g, const RootedTree& tree, Dist r, Dist beta);
+
+/// Checks the k-connecting (2,beta)-dominating-tree condition: every v at
+/// distance 2 from the root either has all common neighbors attached as
+/// root edges, or has k neighbors within tree depth 1+beta lying on k
+/// distinct branches (pairwise internally disjoint root paths).
+[[nodiscard]] bool is_k_connecting_dominating_tree(const Graph& g, const RootedTree& tree,
+                                                   Dist k, Dist beta);
+
+/// Every tree edge must be a G edge and depths must be consistent; trips a
+/// check on structurally broken trees, returns true otherwise.
+[[nodiscard]] bool tree_is_valid_subgraph(const Graph& g, const RootedTree& tree);
+
+}  // namespace remspan

@@ -1,0 +1,48 @@
+// Stretch parameters and the epsilon <-> (r, beta) correspondence of
+// Proposition 1: a sub-graph is a (1+eps, 1-2eps)-remote-spanner iff it
+// induces (ceil(1/eps)+1, 1)-dominating trees.
+#pragma once
+
+#include <cmath>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// An (alpha, beta) stretch bound: d_{H_u}(u,v) <= alpha * d_G(u,v) + beta.
+struct Stretch {
+  double alpha = 1.0;
+  double beta = 0.0;
+
+  [[nodiscard]] double bound(Dist d) const noexcept {
+    return alpha * static_cast<double>(d) + beta;
+  }
+};
+
+/// Tree-domination radius r = ceil(1/eps) + 1 from Proposition 1.
+[[nodiscard]] inline Dist domination_radius_for_eps(double eps) {
+  REMSPAN_CHECK(eps > 0.0 && eps <= 1.0);
+  return static_cast<Dist>(std::ceil(1.0 / eps)) + 1;
+}
+
+/// The effective epsilon' = 1 / (r - 1) realized by radius-r trees; always
+/// <= the requested eps, so the guarantee only improves.
+[[nodiscard]] inline double effective_eps(Dist r) {
+  REMSPAN_CHECK(r >= 2);
+  return 1.0 / static_cast<double>(r - 1);
+}
+
+/// Stretch guaranteed by a sub-graph inducing (r,1)-dominating trees
+/// (Proposition 1): (1 + eps', 1 - 2eps') with eps' = 1/(r-1).
+[[nodiscard]] inline Stretch stretch_for_radius(Dist r) {
+  const double eps = effective_eps(r);
+  return Stretch{1.0 + eps, 1.0 - 2.0 * eps};
+}
+
+/// k-connecting stretch bound of Section 3: d^{k'}_{H_s} <= alpha d^{k'}_G
+/// + k' beta for k' <= k.
+[[nodiscard]] inline double k_connecting_bound(const Stretch& s, std::uint64_t dk, Dist k) {
+  return s.alpha * static_cast<double>(dk) + static_cast<double>(k) * s.beta;
+}
+
+}  // namespace remspan

@@ -1,0 +1,92 @@
+#include "core/remote_spanner.hpp"
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace remspan {
+
+namespace {
+
+/// Shared driver: runs `make_tree(builder, u)` for every root u in parallel,
+/// unioning the tree edges into one EdgeSet (one accumulator per worker, one
+/// final OR pass — no locking on the hot path).
+EdgeSet union_of_trees(const Graph& g,
+                       const std::function<RootedTree(DomTreeBuilder&, NodeId)>& make_tree,
+                       SpannerBuildInfo* info) {
+  Timer timer;
+  auto& pool = ThreadPool::global();
+  const std::size_t workers = pool.size() + 1;
+
+  std::vector<EdgeSet> partial(workers, EdgeSet(g));
+  std::vector<std::unique_ptr<DomTreeBuilder>> builders(workers);
+  for (auto& b : builders) b = std::make_unique<DomTreeBuilder>(g);
+
+  std::atomic<std::size_t> sum_edges{0};
+  std::atomic<std::size_t> max_edges{0};
+
+  pool.parallel_for_workers(0, g.num_nodes(), [&](std::size_t root, std::size_t worker) {
+    const RootedTree tree = make_tree(*builders[worker], static_cast<NodeId>(root));
+    EdgeSet& acc = partial[worker];
+    std::size_t edges = 0;
+    for (const NodeId v : tree.nodes()) {
+      if (v == tree.root()) continue;
+      const EdgeId id = g.find_edge(tree.parent(v), v);
+      REMSPAN_CHECK(id != kInvalidEdge);
+      acc.insert(id);
+      ++edges;
+    }
+    sum_edges.fetch_add(edges, std::memory_order_relaxed);
+    std::size_t seen = max_edges.load(std::memory_order_relaxed);
+    while (edges > seen &&
+           !max_edges.compare_exchange_weak(seen, edges, std::memory_order_relaxed)) {
+    }
+  });
+
+  EdgeSet spanner(g);
+  for (const EdgeSet& part : partial) spanner |= part;
+
+  if (info != nullptr) {
+    info->sum_tree_edges = sum_edges.load();
+    info->max_tree_edges = max_edges.load();
+    info->build_seconds = timer.seconds();
+  }
+  return spanner;
+}
+
+}  // namespace
+
+EdgeSet build_remote_spanner(const Graph& g, Dist r, Dist beta, TreeAlgorithm algo,
+                             SpannerBuildInfo* info) {
+  REMSPAN_CHECK(r >= 2);
+  if (algo == TreeAlgorithm::kMis) {
+    REMSPAN_CHECK(beta == 1);  // Algorithm 2 computes (r,1)-dominating trees
+    return union_of_trees(
+        g, [r](DomTreeBuilder& b, NodeId u) { return b.mis(u, r); }, info);
+  }
+  return union_of_trees(
+      g, [r, beta](DomTreeBuilder& b, NodeId u) { return b.greedy(u, r, beta); }, info);
+}
+
+EdgeSet build_low_stretch_remote_spanner(const Graph& g, double eps, TreeAlgorithm algo,
+                                         SpannerBuildInfo* info) {
+  const Dist r = domination_radius_for_eps(eps);
+  return build_remote_spanner(g, r, 1, algo, info);
+}
+
+EdgeSet build_k_connecting_spanner(const Graph& g, Dist k, SpannerBuildInfo* info) {
+  REMSPAN_CHECK(k >= 1);
+  return union_of_trees(
+      g, [k](DomTreeBuilder& b, NodeId u) { return b.greedy_k(u, k); }, info);
+}
+
+EdgeSet build_2connecting_spanner(const Graph& g, Dist k, SpannerBuildInfo* info) {
+  REMSPAN_CHECK(k >= 1);
+  return union_of_trees(
+      g, [k](DomTreeBuilder& b, NodeId u) { return b.mis_k(u, k); }, info);
+}
+
+}  // namespace remspan

@@ -1,0 +1,94 @@
+#include "geom/ball_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace remspan {
+
+namespace {
+
+/// Integer cell key for grid bucketing in up to ~8 dimensions.
+struct CellKey {
+  std::vector<std::int64_t> cell;
+  bool operator==(const CellKey&) const = default;
+};
+
+struct CellKeyHash {
+  std::size_t operator()(const CellKey& k) const noexcept {
+    std::uint64_t h = 0x9E3779B97F4A7C15ull;
+    for (const std::int64_t c : k.cell) {
+      h ^= static_cast<std::uint64_t>(c) + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+GeometricGraph unit_ball_graph(PointSet points, MetricKind metric, double radius) {
+  REMSPAN_CHECK(radius > 0);
+  const std::size_t n = points.size();
+  const std::size_t dim = points.dim();
+  GraphBuilder builder(static_cast<NodeId>(n));
+
+  // Bucket points into cells of side `radius`; under any of the supported
+  // norms two points at distance <= radius differ by <= radius per
+  // coordinate, so all candidate neighbors live in the 3^dim adjacent cells.
+  std::unordered_map<CellKey, std::vector<NodeId>, CellKeyHash> cells;
+  auto cell_of = [&](std::span<const double> p) {
+    CellKey key;
+    key.cell.resize(dim);
+    for (std::size_t k = 0; k < dim; ++k) {
+      key.cell[k] = static_cast<std::int64_t>(std::floor(p[k] / radius));
+    }
+    return key;
+  };
+  for (NodeId i = 0; i < n; ++i) {
+    cells[cell_of(points.point(i))].push_back(i);
+  }
+
+  std::vector<std::int64_t> offset(dim, -1);
+  for (const auto& [key, members] : cells) {
+    // Enumerate the 3^dim neighbor cells (including the cell itself).
+    std::fill(offset.begin(), offset.end(), -1);
+    while (true) {
+      CellKey other = key;
+      for (std::size_t k = 0; k < dim; ++k) other.cell[k] += offset[k];
+      const auto it = cells.find(other);
+      if (it != cells.end()) {
+        for (const NodeId a : members) {
+          const auto pa = points.point(a);
+          for (const NodeId b : it->second) {
+            if (b <= a) continue;  // each unordered pair once
+            if (metric_distance(metric, pa, points.point(b)) <= radius) {
+              builder.add_edge(a, b);
+            }
+          }
+        }
+      }
+      // Advance the odometer over {-1,0,1}^dim.
+      std::size_t k = 0;
+      while (k < dim && offset[k] == 1) {
+        offset[k] = -1;
+        ++k;
+      }
+      if (k == dim) break;
+      ++offset[k];
+    }
+  }
+
+  GeometricGraph out{builder.build(), std::move(points), metric, radius};
+  return out;
+}
+
+GeometricGraph random_unit_disk_graph(double side, double mean_nodes, Rng& rng) {
+  return unit_ball_graph(poisson_points_in_square(side, mean_nodes, rng), MetricKind::L2, 1.0);
+}
+
+GeometricGraph uniform_unit_ball_graph(std::size_t n, double side, std::size_t dim, Rng& rng,
+                                       MetricKind metric) {
+  return unit_ball_graph(uniform_points(n, side, dim, rng), metric, 1.0);
+}
+
+}  // namespace remspan

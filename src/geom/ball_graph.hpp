@@ -1,0 +1,37 @@
+// Unit ball graph construction: nodes = points, edge iff metric distance
+// <= radius. Grid bucketing keeps construction near-linear in the output
+// size even for the dense fixed-square Poisson instances of Section 3.2.
+#pragma once
+
+#include "geom/points.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan {
+
+/// Geometric graph bundled with its geometry; the weighted baselines
+/// (known-distance spanners of Table 1) need the coordinates back.
+struct GeometricGraph {
+  Graph graph;
+  PointSet points;
+  MetricKind metric = MetricKind::L2;
+  double radius = 1.0;
+
+  /// Metric length of an edge.
+  [[nodiscard]] double edge_length(const Edge& e) const {
+    return metric_distance(metric, points.point(e.u), points.point(e.v));
+  }
+};
+
+/// Builds the unit ball graph of the given point cloud.
+[[nodiscard]] GeometricGraph unit_ball_graph(PointSet points, MetricKind metric = MetricKind::L2,
+                                             double radius = 1.0);
+
+/// Paper model, one call: Poisson(mean_nodes) points in [0, side]^2, unit
+/// disk edges.
+[[nodiscard]] GeometricGraph random_unit_disk_graph(double side, double mean_nodes, Rng& rng);
+
+/// Exactly n uniform points in [0, side]^dim, unit balls of the metric.
+[[nodiscard]] GeometricGraph uniform_unit_ball_graph(std::size_t n, double side, std::size_t dim,
+                                                     Rng& rng, MetricKind metric = MetricKind::L2);
+
+}  // namespace remspan

@@ -1,0 +1,84 @@
+#include "geom/points.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace remspan {
+
+double metric_distance(MetricKind kind, std::span<const double> a, std::span<const double> b) {
+  REMSPAN_CHECK(a.size() == b.size());
+  switch (kind) {
+    case MetricKind::L2: {
+      double s = 0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        s += d * d;
+      }
+      return std::sqrt(s);
+    }
+    case MetricKind::L1: {
+      double s = 0;
+      for (std::size_t i = 0; i < a.size(); ++i) s += std::abs(a[i] - b[i]);
+      return s;
+    }
+    case MetricKind::LInf: {
+      double s = 0;
+      for (std::size_t i = 0; i < a.size(); ++i) s = std::max(s, std::abs(a[i] - b[i]));
+      return s;
+    }
+  }
+  return 0;
+}
+
+double doubling_dimension_estimate(MetricKind kind, std::size_t dim) {
+  // A ball of radius R in (R^d, Lp) is covered by c^d balls of radius R/2
+  // with a norm-dependent constant c <= 4; log2 gives the doubling
+  // dimension. The estimate below is the standard O(d) bound, adequate for
+  // labelling experiment rows.
+  switch (kind) {
+    case MetricKind::LInf:
+      return static_cast<double>(dim);  // exactly 2^d half-cubes cover a cube
+    case MetricKind::L2:
+    case MetricKind::L1:
+      return 1.5 * static_cast<double>(dim);
+  }
+  return static_cast<double>(dim);
+}
+
+PointSet uniform_points(std::size_t n, double side, std::size_t dim, Rng& rng) {
+  PointSet ps(dim);
+  std::vector<double> buf(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& c : buf) c = rng.uniform_real(0.0, side);
+    ps.add(buf);
+  }
+  return ps;
+}
+
+PointSet poisson_points_in_square(double side, double mean_nodes, Rng& rng) {
+  const std::uint64_t n = rng.poisson(mean_nodes);
+  return uniform_points(n, side, 2, rng);
+}
+
+PointSet clustered_points(std::size_t n, double side, std::size_t dim, std::size_t clusters,
+                          double spread, Rng& rng) {
+  REMSPAN_CHECK(clusters >= 1);
+  PointSet centers = uniform_points(clusters, side, dim, rng);
+  PointSet ps(dim);
+  std::vector<double> buf(dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto c = centers.point(rng.uniform(clusters));
+    for (std::size_t k = 0; k < dim; ++k) {
+      // Sum of three uniforms approximates a Gaussian offset, clamped into
+      // the cube so the bucketed graph construction keeps working.
+      const double offset =
+          spread * (rng.uniform_real(-1, 1) + rng.uniform_real(-1, 1) + rng.uniform_real(-1, 1)) /
+          3.0;
+      buf[k] = std::clamp(c[k] + offset, 0.0, side);
+    }
+    ps.add(buf);
+  }
+  return ps;
+}
+
+}  // namespace remspan

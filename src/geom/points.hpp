@@ -1,0 +1,74 @@
+// Point clouds and the metrics over them.
+//
+// The paper's graph families are unit disk graphs (UDG: points in the
+// plane, edge iff Euclidean distance <= 1, Poisson-distributed positions in
+// a fixed square) and unit ball graphs of a doubling metric (UBG: edge iff
+// metric distance <= 1, the metric has doubling dimension p). Points in R^d
+// under any norm form a doubling metric with p = Theta(d), which is how the
+// generators realize "UBG of doubling dimension p" for the Theorem 1/3
+// experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/prelude.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+
+/// Flat storage of n points in R^dim.
+class PointSet {
+ public:
+  explicit PointSet(std::size_t dim) : dim_(dim) { REMSPAN_CHECK(dim >= 1); }
+
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t size() const noexcept { return coords_.size() / dim_; }
+
+  void add(std::span<const double> coords) {
+    REMSPAN_CHECK(coords.size() == dim_);
+    coords_.insert(coords_.end(), coords.begin(), coords.end());
+  }
+  void add2(double x, double y) {
+    REMSPAN_CHECK(dim_ == 2);
+    coords_.push_back(x);
+    coords_.push_back(y);
+  }
+
+  [[nodiscard]] std::span<const double> point(std::size_t i) const {
+    return {coords_.data() + i * dim_, dim_};
+  }
+
+ private:
+  std::size_t dim_;
+  std::vector<double> coords_;
+};
+
+/// Norm selecting the metric over R^d. All three are doubling; L2 in the
+/// plane is the paper's unit disk setting.
+enum class MetricKind { L2, L1, LInf };
+
+[[nodiscard]] double metric_distance(MetricKind kind, std::span<const double> a,
+                                     std::span<const double> b);
+
+/// Upper estimate of the doubling dimension p of R^dim under the given
+/// norm; the edge bounds of Theorems 1/3 are parameterized by this.
+[[nodiscard]] double doubling_dimension_estimate(MetricKind kind, std::size_t dim);
+
+// --- point generators -------------------------------------------------------
+
+/// n i.i.d. uniform points in [0, side]^dim.
+[[nodiscard]] PointSet uniform_points(std::size_t n, double side, std::size_t dim, Rng& rng);
+
+/// The paper's random-UDG node model (Section 3.2): a Poisson number of
+/// points, mean `mean_nodes`, uniform in the fixed square [0, side]^2.
+[[nodiscard]] PointSet poisson_points_in_square(double side, double mean_nodes, Rng& rng);
+
+/// Clustered cloud: `clusters` centers uniform in the cube, each point
+/// attached to a random center with Gaussian-ish (sum of uniforms) offset of
+/// scale `spread`. Produces non-uniform doubling instances.
+[[nodiscard]] PointSet clustered_points(std::size_t n, double side, std::size_t dim,
+                                        std::size_t clusters, double spread, Rng& rng);
+
+}  // namespace remspan

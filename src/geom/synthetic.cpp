@@ -1,0 +1,217 @@
+#include "geom/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/connectivity.hpp"
+
+namespace remspan {
+
+Graph gnp(NodeId n, double p, Rng& rng) {
+  GraphBuilder builder(n);
+  if (p <= 0 || n < 2) return builder.build();
+  if (p >= 1.0) return complete_graph(n);
+  // Geometric skipping over the lexicographic pair enumeration.
+  const double log_q = std::log(1.0 - p);
+  const std::uint64_t total_pairs = static_cast<std::uint64_t>(n) * (n - 1) / 2;
+  std::uint64_t index = 0;
+  while (true) {
+    const double r = rng.uniform_real();
+    const auto skip = static_cast<std::uint64_t>(std::floor(std::log(1.0 - r) / log_q));
+    index += skip;
+    if (index >= total_pairs) break;
+    // Decode pair index -> (u, v) with u < v.
+    const auto fi = static_cast<double>(index);
+    auto u = static_cast<NodeId>(
+        std::floor((2.0 * static_cast<double>(n) - 1.0 -
+                    std::sqrt((2.0 * static_cast<double>(n) - 1.0) *
+                                  (2.0 * static_cast<double>(n) - 1.0) -
+                              8.0 * fi)) /
+                   2.0));
+    // Guard against floating point drift at row boundaries.
+    auto row_start = [&](NodeId r_) {
+      return static_cast<std::uint64_t>(r_) * (2 * n - r_ - 1) / 2;
+    };
+    while (u > 0 && row_start(u) > index) --u;
+    while (row_start(u + 1) <= index) ++u;
+    const auto v = static_cast<NodeId>(u + 1 + (index - row_start(u)));
+    builder.add_edge(u, v);
+    ++index;
+  }
+  return builder.build();
+}
+
+Graph random_tree(NodeId n, Rng& rng) {
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) {
+    const auto parent = static_cast<NodeId>(rng.uniform(v));
+    builder.add_edge(parent, v);
+  }
+  return builder.build();
+}
+
+Graph connected_gnp(NodeId n, double p, Rng& rng, int max_tries) {
+  for (int attempt = 0; attempt < max_tries; ++attempt) {
+    Graph g = gnp(n, p, rng);
+    if (is_connected(g)) return g;
+  }
+  // Fall back to G(n,p) plus a random spanning tree; still a natural random
+  // model and guaranteed connected.
+  Graph g = gnp(n, p, rng);
+  GraphBuilder builder(n);
+  for (const Edge& e : g.edges()) builder.add_edge(e.u, e.v);
+  for (NodeId v = 1; v < n; ++v) {
+    builder.add_edge(static_cast<NodeId>(rng.uniform(v)), v);
+  }
+  return builder.build();
+}
+
+Graph path_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(v - 1, v);
+  return builder.build();
+}
+
+Graph cycle_graph(NodeId n) {
+  REMSPAN_CHECK(n >= 3);
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(v - 1, v);
+  builder.add_edge(n - 1, 0);
+  return builder.build();
+}
+
+Graph complete_graph(NodeId n) {
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) builder.add_edge(u, v);
+  }
+  return builder.build();
+}
+
+Graph star_graph(NodeId n) {
+  REMSPAN_CHECK(n >= 1);
+  GraphBuilder builder(n);
+  for (NodeId v = 1; v < n; ++v) builder.add_edge(0, v);
+  return builder.build();
+}
+
+Graph grid_graph(NodeId rows, NodeId cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](NodeId r, NodeId c) { return r * cols + c; };
+  for (NodeId r = 0; r < rows; ++r) {
+    for (NodeId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.build();
+}
+
+Graph hypercube_graph(unsigned dims) {
+  REMSPAN_CHECK(dims < 20);
+  const NodeId n = NodeId{1} << dims;
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (unsigned b = 0; b < dims; ++b) {
+      const NodeId v = u ^ (NodeId{1} << b);
+      if (u < v) builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  GraphBuilder builder(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) builder.add_edge(u, a + v);
+  }
+  return builder.build();
+}
+
+Graph barabasi_albert(NodeId n, NodeId m, Rng& rng) {
+  REMSPAN_CHECK(m >= 1 && n > m);
+  GraphBuilder builder(n);
+  // Attachment urn: every edge endpoint appears once, so sampling from the
+  // urn is degree-proportional sampling.
+  std::vector<NodeId> urn;
+  // Seed clique on the first m+1 nodes.
+  for (NodeId u = 0; u <= m; ++u) {
+    for (NodeId v = u + 1; v <= m; ++v) {
+      builder.add_edge(u, v);
+      urn.push_back(u);
+      urn.push_back(v);
+    }
+  }
+  for (NodeId v = m + 1; v < n; ++v) {
+    // Draw m distinct targets (retry duplicates; m is small).
+    std::vector<NodeId> targets;
+    while (targets.size() < m) {
+      const NodeId t = urn[rng.uniform(urn.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (const NodeId t : targets) {
+      builder.add_edge(v, t);
+      urn.push_back(v);
+      urn.push_back(t);
+    }
+  }
+  return builder.build();
+}
+
+Graph watts_strogatz(NodeId n, NodeId k_ring, double rewire, Rng& rng) {
+  REMSPAN_CHECK(k_ring % 2 == 0 && k_ring >= 2 && n > k_ring);
+  GraphBuilder builder(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId hop = 1; hop <= k_ring / 2; ++hop) {
+      NodeId v = (u + hop) % n;
+      if (rng.bernoulli(rewire)) {
+        // Rewire the far endpoint uniformly (avoiding self-loops; parallel
+        // edges collapse in the builder).
+        do {
+          v = static_cast<NodeId>(rng.uniform(n));
+        } while (v == u);
+      }
+      builder.add_edge(u, v);
+    }
+  }
+  return builder.build();
+}
+
+Graph random_regular(NodeId n, NodeId d, Rng& rng) {
+  REMSPAN_CHECK((static_cast<std::uint64_t>(n) * d) % 2 == 0);
+  REMSPAN_CHECK(d < n);
+  // Pairing model: d stubs per node, random perfect matching of stubs;
+  // loops and parallel pairs are dropped (degrees may dip below d).
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * d);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId i = 0; i < d; ++i) stubs.push_back(v);
+  }
+  rng.shuffle(stubs);
+  GraphBuilder builder(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    if (stubs[i] != stubs[i + 1]) builder.add_edge(stubs[i], stubs[i + 1]);
+  }
+  return builder.build();
+}
+
+Graph theta_graph(Dist k, Dist len) {
+  REMSPAN_CHECK(k >= 1 && len >= 1);
+  // s = 0, t = 1; each path contributes len - 1 internal nodes.
+  const NodeId internals_per_path = len - 1;
+  GraphBuilder builder(2 + k * internals_per_path);
+  NodeId next = 2;
+  for (Dist path = 0; path < k; ++path) {
+    NodeId prev = 0;  // s
+    for (NodeId i = 0; i < internals_per_path; ++i) {
+      builder.add_edge(prev, next);
+      prev = next++;
+    }
+    builder.add_edge(prev, 1);  // t
+  }
+  return builder.build();
+}
+
+}  // namespace remspan

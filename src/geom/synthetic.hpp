@@ -1,0 +1,49 @@
+// Non-geometric workload generators: classic random graphs and the
+// structured families the tests use to pin down algorithm behaviour
+// (cycles, grids, hypercubes, theta gadgets with known k-connectivity).
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+
+/// Erdos-Renyi G(n,p) via geometric edge skipping (O(n + m) expected).
+[[nodiscard]] Graph gnp(NodeId n, double p, Rng& rng);
+
+/// Uniform random tree on n nodes (random attachment).
+[[nodiscard]] Graph random_tree(NodeId n, Rng& rng);
+
+/// G(n,p) conditioned on connectivity: resamples until connected, then
+/// returns. p must make connectivity plausible.
+[[nodiscard]] Graph connected_gnp(NodeId n, double p, Rng& rng, int max_tries = 64);
+
+[[nodiscard]] Graph path_graph(NodeId n);
+[[nodiscard]] Graph cycle_graph(NodeId n);
+[[nodiscard]] Graph complete_graph(NodeId n);
+[[nodiscard]] Graph star_graph(NodeId n);  // node 0 is the hub
+[[nodiscard]] Graph grid_graph(NodeId rows, NodeId cols);
+[[nodiscard]] Graph hypercube_graph(unsigned dims);
+[[nodiscard]] Graph complete_bipartite(NodeId a, NodeId b);
+
+/// Theta graph: `k` internally disjoint s-t paths, each of length `len`
+/// (s = 0, t = 1). The canonical instance where d^k(s,t) = k * len, used to
+/// validate the k-connecting oracle and the multi-connectivity spanners.
+[[nodiscard]] Graph theta_graph(Dist k, Dist len);
+
+/// Barabasi-Albert preferential attachment: each new node attaches `m`
+/// edges to existing nodes with probability proportional to degree.
+/// Produces the heavy-tailed degree distributions the paper's log-Delta
+/// factors are sensitive to.
+[[nodiscard]] Graph barabasi_albert(NodeId n, NodeId m, Rng& rng);
+
+/// Watts-Strogatz small world: ring lattice of even degree `k_ring`, each
+/// edge rewired with probability `rewire`. Low diameter + high clustering:
+/// a stress case for the distance-2 shell algorithms.
+[[nodiscard]] Graph watts_strogatz(NodeId n, NodeId k_ring, double rewire, Rng& rng);
+
+/// Random d-regular multigraph via the pairing model, simplified (parallel
+/// edges/loops dropped, so degrees are <= d). n * d must be even.
+[[nodiscard]] Graph random_regular(NodeId n, NodeId d, Rng& rng);
+
+}  // namespace remspan

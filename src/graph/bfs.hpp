@@ -1,0 +1,91 @@
+// Breadth-first search over any NeighborView, with optional depth bound.
+//
+// BoundedBfs keeps its arrays between runs and resets only the nodes it
+// touched, so per-root ball explorations (the inner loop of every
+// dominating-tree algorithm) cost O(|ball|), not O(n).
+#pragma once
+
+#include <vector>
+
+#include "graph/views.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+class BoundedBfs {
+ public:
+  explicit BoundedBfs(std::size_t n)
+      : dist_(n, kUnreachable), parent_(n, kInvalidNode) {}
+
+  /// Runs BFS from src, exploring nodes at distance <= max_depth. Returns the
+  /// visit order (src first, non-decreasing distance). Results stay valid
+  /// until the next run() call.
+  template <NeighborView View>
+  const std::vector<NodeId>& run(const View& view, NodeId src, Dist max_depth = kUnreachable) {
+    reset();
+    REMSPAN_CHECK(src < view.num_nodes());
+    dist_[src] = 0;
+    parent_[src] = kInvalidNode;
+    order_.push_back(src);
+    // order_ doubles as the queue: nodes are appended in BFS order.
+    for (std::size_t head = 0; head < order_.size(); ++head) {
+      const NodeId u = order_[head];
+      const Dist du = dist_[u];
+      if (du >= max_depth) continue;
+      view.for_each_neighbor(u, [&](NodeId v) {
+        if (dist_[v] == kUnreachable) {
+          dist_[v] = du + 1;
+          parent_[v] = u;
+          order_.push_back(v);
+        }
+      });
+    }
+    return order_;
+  }
+
+  [[nodiscard]] Dist dist(NodeId v) const noexcept { return dist_[v]; }
+  [[nodiscard]] bool reached(NodeId v) const noexcept { return dist_[v] != kUnreachable; }
+
+  /// BFS-tree parent of v (kInvalidNode for the source and unreached nodes).
+  /// Following parents from x to the source traces a shortest path, which is
+  /// exactly how the dominating-tree algorithms add "a shortest path from u
+  /// to x in G" while keeping the union a tree (DESIGN.md §4).
+  [[nodiscard]] NodeId parent(NodeId v) const noexcept { return parent_[v]; }
+
+  [[nodiscard]] const std::vector<NodeId>& order() const noexcept { return order_; }
+
+ private:
+  void reset() {
+    for (const NodeId v : order_) {
+      dist_[v] = kUnreachable;
+      parent_[v] = kInvalidNode;
+    }
+    order_.clear();
+  }
+
+  std::vector<Dist> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<NodeId> order_;
+};
+
+/// One-shot BFS: distance vector from src over the view (kUnreachable for
+/// unreached nodes).
+template <NeighborView View>
+[[nodiscard]] std::vector<Dist> bfs_distances(const View& view, NodeId src,
+                                              Dist max_depth = kUnreachable) {
+  BoundedBfs bfs(view.num_nodes());
+  bfs.run(view, src, max_depth);
+  std::vector<Dist> out(view.num_nodes(), kUnreachable);
+  for (const NodeId v : bfs.order()) out[v] = bfs.dist(v);
+  return out;
+}
+
+/// Distance between two nodes over the view.
+template <NeighborView View>
+[[nodiscard]] Dist bfs_distance(const View& view, NodeId src, NodeId dst) {
+  BoundedBfs bfs(view.num_nodes());
+  bfs.run(view, src);
+  return bfs.dist(dst);
+}
+
+}  // namespace remspan

@@ -1,0 +1,76 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/bfs.hpp"
+#include "graph/disjoint_paths.hpp"
+
+namespace remspan {
+
+namespace {
+
+template <NeighborView View>
+Components components_of(const View& view) {
+  const NodeId n = view.num_nodes();
+  Components comps;
+  comps.component.assign(n, kInvalidNode);
+  BoundedBfs bfs(n);
+  for (NodeId start = 0; start < n; ++start) {
+    if (comps.component[start] != kInvalidNode) continue;
+    bfs.run(view, start);
+    for (const NodeId v : bfs.order()) comps.component[v] = comps.count;
+    ++comps.count;
+  }
+  return comps;
+}
+
+}  // namespace
+
+std::vector<NodeId> Components::largest() const {
+  std::vector<std::size_t> sizes(count, 0);
+  for (const NodeId c : component) ++sizes[c];
+  const auto best =
+      static_cast<NodeId>(std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+  std::vector<NodeId> out;
+  out.reserve(sizes[best]);
+  for (NodeId v = 0; v < component.size(); ++v) {
+    if (component[v] == best) out.push_back(v);
+  }
+  return out;
+}
+
+Components connected_components(const Graph& g) { return components_of(GraphView(g)); }
+
+Components connected_components(const EdgeSet& h) { return components_of(SubgraphView(h)); }
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || connected_components(g).count == 1;
+}
+
+InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& keep) {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(keep.size());
+  for (NodeId i = 0; i < keep.size(); ++i) {
+    REMSPAN_CHECK(i == 0 || keep[i - 1] < keep[i]);  // sorted & unique
+    remap.emplace(keep[i], i);
+  }
+  GraphBuilder builder(static_cast<NodeId>(keep.size()));
+  for (const Edge& e : g.edges()) {
+    const auto iu = remap.find(e.u);
+    const auto iv = remap.find(e.v);
+    if (iu != remap.end() && iv != remap.end()) {
+      builder.add_edge(iu->second, iv->second);
+    }
+  }
+  return InducedSubgraph{builder.build(), keep};
+}
+
+Dist vertex_connectivity(const Graph& g, NodeId s, NodeId t, Dist cap) {
+  REMSPAN_CHECK(s != t);
+  const Dist limit = cap == 0 ? g.num_nodes() : cap;
+  const auto result = min_disjoint_paths(GraphView(g), s, t, limit);
+  return result.connectivity();
+}
+
+}  // namespace remspan

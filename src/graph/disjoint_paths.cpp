@@ -1,0 +1,59 @@
+#include "graph/disjoint_paths.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace remspan::detail {
+
+std::vector<std::vector<NodeId>> decompose_paths(const MinCostFlow& flow, NodeId s, NodeId t,
+                                                 NodeId num_nodes) {
+  std::vector<std::vector<NodeId>> paths;
+  // Unconsumed flow per forward arc id (arcs appear in the outgoing list of
+  // their tail; forward arcs are the ones created with positive capacity).
+  std::unordered_map<std::size_t, std::int32_t> leftover;
+  for (std::size_t v = 0; v < flow.num_vertices(); ++v) {
+    for (const std::size_t arc_id : flow.outgoing(v)) {
+      if (flow.initial_capacity(arc_id) > 0) {
+        const std::int32_t f = flow.flow_on(arc_id);
+        if (f > 0) leftover[arc_id] = f;
+      }
+    }
+  }
+
+  const std::size_t source = 2 * static_cast<std::size_t>(s) + 1;
+  const std::size_t sink = 2 * static_cast<std::size_t>(t);
+  while (true) {
+    // Find an unconsumed arc out of the source.
+    std::size_t current = source;
+    std::vector<NodeId> path;
+    path.push_back(s);
+    bool advanced = false;
+    while (current != sink) {
+      bool moved = false;
+      for (const std::size_t arc_id : flow.outgoing(current)) {
+        if (flow.initial_capacity(arc_id) <= 0) continue;
+        auto it = leftover.find(arc_id);
+        if (it == leftover.end() || it->second <= 0) continue;
+        --it->second;
+        current = flow.arc(arc_id).to;
+        // Record the node when we arrive at a v_in vertex (even index).
+        if (current % 2 == 0) {
+          const auto node = static_cast<NodeId>(current / 2);
+          REMSPAN_CHECK(node < num_nodes);
+          path.push_back(node);
+        }
+        moved = true;
+        advanced = true;
+        break;
+      }
+      if (!moved) break;
+    }
+    if (!advanced) break;
+    REMSPAN_CHECK(current == sink);
+    REMSPAN_CHECK(path.back() == t);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+}  // namespace remspan::detail

@@ -1,0 +1,23 @@
+#include "graph/distances.hpp"
+
+#include <algorithm>
+
+namespace remspan {
+
+Dist eccentricity(std::span<const Dist> row) {
+  Dist ecc = 0;
+  for (const Dist d : row) {
+    if (d != kUnreachable) ecc = std::max(ecc, d);
+  }
+  return ecc;
+}
+
+Dist diameter(const DistanceMatrix& dm) {
+  Dist diam = 0;
+  for (NodeId u = 0; u < dm.num_nodes(); ++u) {
+    diam = std::max(diam, eccentricity(dm.row(u)));
+  }
+  return diam;
+}
+
+}  // namespace remspan

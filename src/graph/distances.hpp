@@ -1,0 +1,66 @@
+// All-pairs shortest-path distances via parallel per-source BFS. The stretch
+// oracles need d_G for every pair and d_H for every pair; at oracle scale
+// (n up to a few thousand) a flat n*n matrix of 32-bit hop counts is the
+// right trade-off.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/bfs.hpp"
+#include "graph/views.hpp"
+#include "util/prelude.hpp"
+#include "util/thread_pool.hpp"
+
+namespace remspan {
+
+class DistanceMatrix {
+ public:
+  DistanceMatrix() = default;
+  explicit DistanceMatrix(NodeId n) : n_(n), data_(static_cast<std::size_t>(n) * n, kUnreachable) {}
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return n_; }
+
+  [[nodiscard]] Dist operator()(NodeId u, NodeId v) const noexcept {
+    return data_[static_cast<std::size_t>(u) * n_ + v];
+  }
+  Dist& operator()(NodeId u, NodeId v) noexcept {
+    return data_[static_cast<std::size_t>(u) * n_ + v];
+  }
+
+  [[nodiscard]] std::span<const Dist> row(NodeId u) const noexcept {
+    return {data_.data() + static_cast<std::size_t>(u) * n_, n_};
+  }
+
+ private:
+  NodeId n_ = 0;
+  std::vector<Dist> data_;
+};
+
+/// Computes all-pairs distances over any view, running the per-source BFS
+/// sweeps on the global thread pool (one scratch BFS per worker).
+template <NeighborView View>
+[[nodiscard]] DistanceMatrix all_pairs_distances(const View& view) {
+  const NodeId n = view.num_nodes();
+  DistanceMatrix dm(n);
+  if (n == 0) return dm;
+  auto& pool = ThreadPool::global();
+  std::vector<BoundedBfs> scratch;
+  scratch.reserve(pool.size() + 1);
+  for (std::size_t i = 0; i <= pool.size(); ++i) scratch.emplace_back(n);
+  pool.parallel_for_workers(0, n, [&](std::size_t src, std::size_t worker) {
+    BoundedBfs& bfs = scratch[worker];
+    bfs.run(view, static_cast<NodeId>(src));
+    for (NodeId v = 0; v < n; ++v) dm(static_cast<NodeId>(src), v) = bfs.dist(v);
+  });
+  return dm;
+}
+
+/// Maximum finite distance in a row (0 when the node reaches nothing).
+[[nodiscard]] Dist eccentricity(std::span<const Dist> row);
+
+/// Maximum finite eccentricity over all nodes (diameter of the largest
+/// component the matrix covers).
+[[nodiscard]] Dist diameter(const DistanceMatrix& dm);
+
+}  // namespace remspan

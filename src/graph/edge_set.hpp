@@ -1,0 +1,87 @@
+// EdgeSet: a subset of a Graph's edges, the representation of every spanner
+// and remote-spanner H computed by this library. Backed by a bitset over
+// edge ids so that union-of-dominating-trees and "neighbors of u inside H"
+// are both cheap.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitset.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+class EdgeSet {
+ public:
+  /// Empty subset (or the full edge set when all == true) of g. The Graph
+  /// must outlive the EdgeSet.
+  explicit EdgeSet(const Graph& g, bool all = false)
+      : graph_(&g), bits_(g.num_edges(), all) {}
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  void insert(EdgeId id) { bits_.set(id); }
+  void erase(EdgeId id) { bits_.reset(id); }
+
+  /// Inserts edge {a,b}; the edge must exist in the underlying graph.
+  void insert(NodeId a, NodeId b) {
+    const EdgeId id = graph_->find_edge(a, b);
+    REMSPAN_CHECK(id != kInvalidEdge);
+    bits_.set(id);
+  }
+
+  [[nodiscard]] bool contains(EdgeId id) const noexcept { return bits_.test(id); }
+  [[nodiscard]] bool contains(NodeId a, NodeId b) const noexcept {
+    const EdgeId id = graph_->find_edge(a, b);
+    return id != kInvalidEdge && bits_.test(id);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_.count(); }
+
+  EdgeSet& operator|=(const EdgeSet& other) {
+    REMSPAN_CHECK(graph_ == other.graph_);
+    bits_ |= other.bits_;
+    return *this;
+  }
+
+  [[nodiscard]] bool operator==(const EdgeSet& other) const noexcept {
+    return graph_ == other.graph_ && bits_ == other.bits_;
+  }
+
+  /// Degree of u counting only selected edges.
+  [[nodiscard]] Dist degree_in(NodeId u) const {
+    Dist d = 0;
+    for (const EdgeId id : graph_->incident_edges(u)) {
+      if (bits_.test(id)) ++d;
+    }
+    return d;
+  }
+
+  /// Calls fn(v) for every neighbor v of u connected by a selected edge.
+  template <typename Fn>
+  void for_each_neighbor(NodeId u, Fn&& fn) const {
+    const auto nbrs = graph_->neighbors(u);
+    const auto ids = graph_->incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (bits_.test(ids[i])) fn(nbrs[i]);
+    }
+  }
+
+  /// Materializes the selected edges in canonical order.
+  [[nodiscard]] std::vector<Edge> edge_list() const {
+    std::vector<Edge> out;
+    out.reserve(size());
+    bits_.for_each_set([&](std::size_t id) { out.push_back(graph_->edge(static_cast<EdgeId>(id))); });
+    return out;
+  }
+
+  /// The raw bitset (used by tests for exact distributed-vs-central compares).
+  [[nodiscard]] const DynamicBitset& bits() const noexcept { return bits_; }
+
+ private:
+  const Graph* graph_;
+  DynamicBitset bits_;
+};
+
+}  // namespace remspan

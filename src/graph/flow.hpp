@@ -1,0 +1,69 @@
+// Minimum-cost flow via successive shortest paths (Dijkstra + Johnson
+// potentials). This is the engine behind the k-connecting distance oracle:
+// on the node-split transform of a graph, the cost of the i-th augmentation
+// sequence equals d^i(s,t), the minimum total length of i internally
+// node-disjoint s-t paths (paper Section 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t num_vertices);
+
+  /// Adds a directed arc and its zero-capacity reverse. Returns the arc id
+  /// of the forward arc. Costs must be non-negative (hop counts are).
+  std::size_t add_arc(std::size_t from, std::size_t to, std::int32_t capacity,
+                      std::int32_t cost);
+
+  /// Pushes up to max_units units of flow from s to t, one shortest
+  /// (cheapest) augmenting path at a time. Returns the cost of each
+  /// successive unit: result[i] is the cost of augmentation i+1, so the
+  /// cumulative sum of the first i entries is the min cost of an i-unit
+  /// flow (prefix optimality of SSP). Stops early when t becomes
+  /// unreachable. May be called once per instance.
+  [[nodiscard]] std::vector<std::int64_t> solve(std::size_t s, std::size_t t,
+                                                std::int64_t max_units);
+
+  /// Flow currently on the forward arc `arc_id` (capacity minus residual).
+  [[nodiscard]] std::int32_t flow_on(std::size_t arc_id) const;
+
+  struct Arc {
+    std::size_t to;
+    std::size_t rev;  // index of the reverse arc in arcs_[to]... flattened: index into arcs_
+    std::int32_t capacity;
+    std::int32_t cost;
+  };
+
+  [[nodiscard]] const Arc& arc(std::size_t arc_id) const { return arcs_[arc_id]; }
+  [[nodiscard]] std::size_t num_vertices() const noexcept { return head_.size(); }
+
+  /// Ids of the arcs leaving `vertex` (forward and reverse arcs mixed; use
+  /// flow_on + initial capacity to tell them apart during decomposition).
+  [[nodiscard]] const std::vector<std::size_t>& outgoing(std::size_t vertex) const {
+    return head_[vertex];
+  }
+
+  /// The capacity the arc was created with (reverse arcs have 0).
+  [[nodiscard]] std::int32_t initial_capacity(std::size_t arc_id) const {
+    return initial_capacity_[arc_id];
+  }
+
+ private:
+  bool dijkstra(std::size_t s, std::size_t t);
+
+  std::vector<std::vector<std::size_t>> head_;  // per-vertex arc ids
+  std::vector<Arc> arcs_;
+  std::vector<std::int32_t> initial_capacity_;
+  std::vector<std::int64_t> potential_;
+  std::vector<std::int64_t> dist_;
+  std::vector<std::size_t> prev_arc_;
+  std::vector<bool> visited_;
+};
+
+}  // namespace remspan

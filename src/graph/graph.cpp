@@ -1,0 +1,76 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace remspan {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+void GraphBuilder::reserve(std::size_t edges) { edges_.reserve(edges); }
+
+void GraphBuilder::add_edge(NodeId a, NodeId b) {
+  REMSPAN_CHECK(a != b);
+  REMSPAN_CHECK(a < num_nodes_ && b < num_nodes_);
+  edges_.push_back(make_edge(a, b));
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<Edge> edges = edges_;
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    return x.u != y.u ? x.u < y.u : x.v < y.v;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return Graph::from_canonical_edges(num_nodes_, std::move(edges));
+}
+
+Graph Graph::from_canonical_edges(NodeId num_nodes, std::vector<Edge> edges) {
+  Graph g;
+  g.edges_ = std::move(edges);
+  g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const Edge& e : g.edges_) {
+    REMSPAN_CHECK(e.u < e.v && e.v < num_nodes);
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(2 * g.edges_.size());
+  g.adj_edge_ids_.resize(2 * g.edges_.size());
+  std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (EdgeId id = 0; id < g.edges_.size(); ++id) {
+    const Edge& e = g.edges_[id];
+    g.adj_[cursor[e.u]] = e.v;
+    g.adj_edge_ids_[cursor[e.u]++] = id;
+    g.adj_[cursor[e.v]] = e.u;
+    g.adj_edge_ids_[cursor[e.v]++] = id;
+  }
+  // Sort each adjacency row by neighbor id, keeping edge ids aligned.
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    const std::size_t lo = g.offsets_[u];
+    const std::size_t hi = g.offsets_[u + 1];
+    std::vector<std::pair<NodeId, EdgeId>> row;
+    row.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) row.emplace_back(g.adj_[i], g.adj_edge_ids_[i]);
+    std::sort(row.begin(), row.end());
+    for (std::size_t i = lo; i < hi; ++i) {
+      g.adj_[i] = row[i - lo].first;
+      g.adj_edge_ids_[i] = row[i - lo].second;
+    }
+    g.max_degree_ = std::max(g.max_degree_, static_cast<Dist>(hi - lo));
+  }
+  return g;
+}
+
+EdgeId Graph::find_edge(NodeId a, NodeId b) const noexcept {
+  if (a >= num_nodes() || b >= num_nodes() || a == b) return kInvalidEdge;
+  // Search the smaller adjacency row.
+  if (degree(a) > degree(b)) std::swap(a, b);
+  const auto nbrs = neighbors(a);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), b);
+  if (it == nbrs.end() || *it != b) return kInvalidEdge;
+  const auto slot = static_cast<std::size_t>(it - nbrs.begin());
+  return incident_edges(a)[slot];
+}
+
+}  // namespace remspan

@@ -1,0 +1,107 @@
+// Immutable undirected simple graph in CSR form.
+//
+// Remote-spanner algorithms operate on an input graph G and select a subset
+// of its edges; the Graph therefore assigns every undirected edge a stable
+// EdgeId and exposes, for each adjacency slot, the id of the edge it
+// belongs to. EdgeSet (edge_set.hpp) represents spanners as bitsets over
+// those ids, giving O(deg) iteration over "neighbors of u within H".
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// Canonical undirected edge: u < v always holds.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Normalizes an endpoint pair into canonical form.
+[[nodiscard]] constexpr Edge make_edge(NodeId a, NodeId b) noexcept {
+  return a < b ? Edge{a, b} : Edge{b, a};
+}
+
+class Graph;
+
+/// Mutable accumulation of edges; build() produces the immutable CSR Graph.
+/// Self-loops are rejected; duplicate edges are merged silently (generators
+/// may naturally produce duplicates).
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(NodeId num_nodes);
+
+  void add_edge(NodeId a, NodeId b);
+  void reserve(std::size_t edges);
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  [[nodiscard]] Graph build() const;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from a canonical, deduplicated, sorted edge list (GraphBuilder
+  /// takes care of that normalization).
+  static Graph from_canonical_edges(NodeId num_nodes, std::vector<Edge> edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// Sorted neighbor list of u.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId u) const {
+    return {adj_.data() + offsets_[u], adj_.data() + offsets_[u + 1]};
+  }
+
+  /// Edge ids parallel to neighbors(u): incident_edges(u)[i] is the id of
+  /// the edge {u, neighbors(u)[i]}.
+  [[nodiscard]] std::span<const EdgeId> incident_edges(NodeId u) const {
+    return {adj_edge_ids_.data() + offsets_[u], adj_edge_ids_.data() + offsets_[u + 1]};
+  }
+
+  [[nodiscard]] Dist degree(NodeId u) const noexcept {
+    return static_cast<Dist>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Maximum degree Delta; the paper's approximation factors are stated in
+  /// terms of (1 + log Delta).
+  [[nodiscard]] Dist max_degree() const noexcept { return max_degree_; }
+
+  [[nodiscard]] bool has_edge(NodeId a, NodeId b) const noexcept {
+    return find_edge(a, b) != kInvalidEdge;
+  }
+
+  /// Id of edge {a,b}, or kInvalidEdge. O(log deg) by binary search.
+  [[nodiscard]] EdgeId find_edge(NodeId a, NodeId b) const noexcept;
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const noexcept { return edges_[id]; }
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+
+  /// Sum of degrees / n; handy for workload reporting.
+  [[nodiscard]] double average_degree() const noexcept {
+    return num_nodes() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges()) / static_cast<double>(num_nodes());
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<NodeId> adj_;
+  std::vector<EdgeId> adj_edge_ids_;
+  std::vector<Edge> edges_;
+  Dist max_degree_ = 0;
+};
+
+}  // namespace remspan

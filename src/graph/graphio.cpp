@@ -1,0 +1,65 @@
+#include "graph/graphio.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace remspan {
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "n " << g.num_nodes() << '\n';
+  for (const Edge& e : g.edges()) {
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  NodeId n = 0;
+  bool have_n = false;
+  std::vector<std::pair<NodeId, NodeId>> pending;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    if (!have_n) {
+      std::string tag;
+      ls >> tag >> n;
+      REMSPAN_CHECK(tag == "n");
+      have_n = true;
+      continue;
+    }
+    NodeId u = 0, v = 0;
+    if (ls >> u >> v) pending.emplace_back(u, v);
+  }
+  REMSPAN_CHECK(have_n);
+  GraphBuilder builder(n);
+  builder.reserve(pending.size());
+  for (const auto& [u, v] : pending) builder.add_edge(u, v);
+  return builder.build();
+}
+
+std::string to_dot(const Graph& g, const EdgeSet* highlight, const std::string& name) {
+  std::ostringstream out;
+  out << "graph " << name << " {\n";
+  out << "  node [shape=circle];\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "  " << v << ";\n";
+  }
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    out << "  " << e.u << " -- " << e.v;
+    if (highlight != nullptr) {
+      if (highlight->contains(id)) {
+        out << " [penwidth=2]";
+      } else {
+        out << " [style=dashed, color=gray]";
+      }
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace remspan

@@ -1,0 +1,93 @@
+// RootedTree: the in-memory form of the paper's dominating trees. A tree
+// sub-graph of G rooted at u, grown by attaching BFS-parent chains. Tracks
+// depth and the depth-1 branch of every member, which is what the
+// k-connecting dominating-tree conditions are expressed in (disjoint tree
+// paths from the root share only the root iff they live in distinct
+// branches).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+class RootedTree {
+ public:
+  explicit RootedTree(NodeId root) : root_(root) {
+    nodes_.push_back(root);
+    info_.emplace(root, Info{kInvalidNode, 0, kInvalidNode});
+  }
+
+  [[nodiscard]] NodeId root() const noexcept { return root_; }
+  [[nodiscard]] bool contains(NodeId v) const { return info_.contains(v); }
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return nodes_.size() - 1; }
+
+  /// Depth of v in the tree (kUnreachable when absent). d_T(root, v) == depth.
+  [[nodiscard]] Dist depth(NodeId v) const {
+    const auto it = info_.find(v);
+    return it == info_.end() ? kUnreachable : it->second.depth;
+  }
+
+  [[nodiscard]] NodeId parent(NodeId v) const {
+    const auto it = info_.find(v);
+    return it == info_.end() ? kInvalidNode : it->second.parent;
+  }
+
+  /// The child of the root on the path root -> v; kInvalidNode for the root
+  /// itself or absent nodes. Two members have internally disjoint root paths
+  /// iff their branches differ.
+  [[nodiscard]] NodeId branch(NodeId v) const {
+    const auto it = info_.find(v);
+    return it == info_.end() ? kInvalidNode : it->second.branch;
+  }
+
+  /// Attaches v as a child of p (p must already be in the tree). If v is
+  /// already present it must have the same parent; conflicting attachments
+  /// indicate an algorithmic bug and trip a check.
+  void add_child(NodeId p, NodeId v) {
+    const auto pit = info_.find(p);
+    REMSPAN_CHECK(pit != info_.end());
+    const auto vit = info_.find(v);
+    if (vit != info_.end()) {
+      REMSPAN_CHECK(vit->second.parent == p);
+      return;
+    }
+    Info info;
+    info.parent = p;
+    info.depth = pit->second.depth + 1;
+    info.branch = (p == root_) ? v : pit->second.branch;
+    info_.emplace(v, info);
+    nodes_.push_back(v);
+  }
+
+  /// Members in insertion order (root first).
+  [[nodiscard]] const std::vector<NodeId>& nodes() const noexcept { return nodes_; }
+
+  /// Tree edges as canonical graph edges.
+  [[nodiscard]] std::vector<Edge> edges() const {
+    std::vector<Edge> out;
+    out.reserve(num_edges());
+    for (const NodeId v : nodes_) {
+      if (v == root_) continue;
+      out.push_back(make_edge(v, info_.at(v).parent));
+    }
+    return out;
+  }
+
+ private:
+  struct Info {
+    NodeId parent;
+    Dist depth;
+    NodeId branch;
+  };
+
+  NodeId root_;
+  std::vector<NodeId> nodes_;
+  std::unordered_map<NodeId, Info> info_;
+};
+
+}  // namespace remspan

@@ -1,0 +1,57 @@
+// TTL-scoped flooding with duplicate suppression — the dissemination
+// primitive of link-state protocols. A payload flooded by `origin` with
+// ttl = d reaches every node within distance d of the origin exactly once
+// (per (origin, seq) key), in at most d rounds.
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/network.hpp"
+
+namespace remspan {
+
+class FloodManager {
+ public:
+  /// Starts a flood from this node. seq must be fresh per (origin, type)
+  /// stream; the manager hands out sequence numbers via next_seq().
+  void originate(NodeContext& ctx, std::uint32_t type, std::uint32_t ttl,
+                 std::vector<std::uint32_t> payload) {
+    Message msg;
+    msg.origin = ctx.id();
+    msg.seq = next_seq_++;
+    msg.ttl = ttl;
+    msg.type = type;
+    msg.payload = std::move(payload);
+    mark_seen(msg);
+    ctx.broadcast(std::move(msg));
+  }
+
+  /// Call for every received message belonging to the flood. Returns true
+  /// when the payload is new for this node (the caller should process it);
+  /// duplicates return false. Forwarding (ttl - 1) happens automatically
+  /// for fresh messages with remaining budget.
+  bool accept(NodeContext& ctx, const Message& msg) {
+    if (!mark_seen(msg)) return false;
+    if (msg.ttl > 1) {
+      Message fwd = msg;
+      fwd.ttl = msg.ttl - 1;
+      ctx.broadcast(std::move(fwd));
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::uint32_t next_seq() const noexcept { return next_seq_; }
+
+ private:
+  bool mark_seen(const Message& msg) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(msg.origin) << 32) | msg.seq;
+    return seen_.insert(key).second;
+  }
+
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint32_t next_seq_ = 0;
+};
+
+}  // namespace remspan

@@ -1,0 +1,67 @@
+#include "sim/network.hpp"
+
+namespace remspan {
+
+std::uint32_t NodeContext::round() const noexcept { return net_->round(); }
+NodeId NodeContext::num_network_nodes() const noexcept { return net_->graph().num_nodes(); }
+
+void NodeContext::broadcast(Message msg) { net_->enqueue_broadcast(id_, std::move(msg)); }
+
+Network::Network(const Graph& g, const ProtocolFactory& factory)
+    : g_(&g), outbox_(g.num_nodes()) {
+  protocols_.reserve(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) protocols_.push_back(factory(v));
+}
+
+void Network::enqueue_broadcast(NodeId from, Message msg) {
+  msg.from = from;
+  stats_.transmissions += 1;
+  stats_.payload_words += msg.payload.size();
+  outbox_[from].push_back(std::move(msg));
+}
+
+std::uint32_t Network::run(std::uint32_t max_rounds) {
+  // LOCAL-model semantics, matching the paper's round accounting: within
+  // one round every node first acts (on_round, send phase), then receives
+  // everything sent this round. Messages queued while *receiving* (flood
+  // forwarding) are sent in the next round's send phase.
+  const NodeId n = g_->num_nodes();
+  std::uint32_t executed = 0;
+  for (; executed < max_rounds; ++executed) {
+    bool any_pending = false;
+    for (const auto& box : outbox_) any_pending |= !box.empty();
+    bool all_done = true;
+    for (const auto& p : protocols_) all_done &= p->done();
+    if (all_done && !any_pending) break;
+
+    ++stats_.rounds;
+    // Send phase.
+    for (NodeId v = 0; v < n; ++v) {
+      NodeContext ctx(*this, v);
+      protocols_[v]->on_round(ctx);
+    }
+    // Receive phase: deliver everything queued so far (pre-round leftovers
+    // from forwarding plus this round's sends). A broadcast by u reaches
+    // every current neighbor of u.
+    std::vector<std::vector<Message>> inflight(n);
+    inflight.swap(outbox_);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const Message& msg : inflight[u]) {
+        for (const NodeId v : g_->neighbors(u)) {
+          stats_.receptions += 1;
+          NodeContext ctx(*this, v);
+          protocols_[v]->on_message(ctx, msg);
+        }
+      }
+    }
+  }
+  return executed;
+}
+
+void Network::change_topology(const Graph& g) {
+  REMSPAN_CHECK(g.num_nodes() == g_->num_nodes());
+  g_ = &g;
+  for (auto& box : outbox_) box.clear();
+}
+
+}  // namespace remspan

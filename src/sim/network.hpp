@@ -1,0 +1,106 @@
+// Synchronous message-passing network simulator.
+//
+// This is the execution model the paper's "constant time" claims refer to:
+// computation proceeds in rounds; a message sent (local broadcast to all
+// graph neighbors) in round i is delivered in round i+1. The simulator
+// accounts transmissions, receptions and payload words so the benches can
+// report the communication cost of Algorithm RemSpan next to its round
+// count 2r - 1 + 2*beta (Section 2.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// A protocol message. `origin`/`seq` identify flooded payloads for
+/// duplicate suppression; `ttl` is the remaining forwarding budget.
+struct Message {
+  NodeId from = kInvalidNode;    // immediate sender
+  NodeId origin = kInvalidNode;  // original source of a flooded payload
+  std::uint32_t seq = 0;         // origin-local sequence number
+  std::uint32_t ttl = 0;         // hops the message may still travel
+  std::uint32_t type = 0;        // protocol-defined tag
+  std::vector<std::uint32_t> payload;
+};
+
+class Network;
+
+/// Per-node handle protocols use to interact with the network.
+class NodeContext {
+ public:
+  NodeContext(Network& net, NodeId id) : net_(&net), id_(id) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t round() const noexcept;
+  [[nodiscard]] NodeId num_network_nodes() const noexcept;
+
+  /// Local wireless broadcast: the message reaches every graph neighbor at
+  /// the start of the next round. Counts as one transmission.
+  void broadcast(Message msg);
+
+ private:
+  Network* net_;
+  NodeId id_;
+};
+
+/// A node program. The network calls, each round:
+///   on_round(ctx)             once, before message delivery,
+///   on_message(ctx, msg)      for every message delivered this round.
+/// A protocol signals local termination through done(); the run stops when
+/// every node is done and no message is in flight.
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  virtual void on_round(NodeContext& ctx) = 0;
+  virtual void on_message(NodeContext& ctx, const Message& msg) = 0;
+  [[nodiscard]] virtual bool done() const = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t transmissions = 0;   // broadcast() calls
+  std::uint64_t receptions = 0;      // per-neighbor deliveries
+  std::uint64_t payload_words = 0;   // sum of payload sizes over transmissions
+  std::uint32_t rounds = 0;          // rounds executed by run()
+};
+
+class Network {
+ public:
+  /// One protocol instance per node, created by the factory.
+  using ProtocolFactory = std::function<std::unique_ptr<Protocol>(NodeId)>;
+
+  Network(const Graph& g, const ProtocolFactory& factory);
+
+  /// Executes rounds until every protocol is done and no message is queued,
+  /// or max_rounds elapse. Returns the number of rounds run.
+  std::uint32_t run(std::uint32_t max_rounds);
+
+  [[nodiscard]] const Graph& graph() const noexcept { return *g_; }
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint32_t round() const noexcept { return stats_.rounds; }
+
+  [[nodiscard]] Protocol& node(NodeId v) { return *protocols_[v]; }
+  [[nodiscard]] const Protocol& node(NodeId v) const { return *protocols_[v]; }
+
+  /// Replaces the topology (same node count) between run() calls; models
+  /// the link-state restabilization scenario. In-flight messages are
+  /// dropped, protocol state is kept.
+  void change_topology(const Graph& g);
+
+ private:
+  friend class NodeContext;
+  void enqueue_broadcast(NodeId from, Message msg);
+
+  const Graph* g_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  // outbox[v]: messages v broadcast this round, delivered next round.
+  std::vector<std::vector<Message>> outbox_;
+  NetworkStats stats_;
+};
+
+}  // namespace remspan

@@ -1,0 +1,154 @@
+#include "sim/remspan_protocol.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace remspan {
+
+Dist RemSpanConfig::flood_scope() const {
+  switch (kind) {
+    case Kind::kLowStretchGreedy:
+      return r - 1 + beta;
+    case Kind::kLowStretchMis:
+      return r;  // r - 1 + 1
+    case Kind::kKConnGreedy:
+      return 1;  // r = 2, beta = 0
+    case Kind::kKConnMis:
+      return 2;  // r = 2, beta = 1
+  }
+  return 1;
+}
+
+std::uint32_t RemSpanConfig::expected_rounds() const { return 1 + 2 * flood_scope(); }
+
+void RemSpanProtocol::on_round(NodeContext& ctx) {
+  ++local_round_;
+  const Dist scope = config_.flood_scope();
+  if (local_round_ == 1) {
+    // Neighbor discovery.
+    Message hello;
+    hello.type = kTypeHello;
+    hello.origin = ctx.id();
+    ctx.broadcast(std::move(hello));
+    return;
+  }
+  if (local_round_ == 2) {
+    // HELLOs are in: advertise the neighbor list to B(u, scope).
+    std::sort(neighbors_.begin(), neighbors_.end());
+    flood_.originate(ctx, kTypeNeighborList, scope,
+                     std::vector<std::uint32_t>(neighbors_.begin(), neighbors_.end()));
+    return;
+  }
+  if (local_round_ == 2 + scope && !tree_computed_) {
+    // All neighbor-list floods have drained (a ttl = scope flood originated
+    // in round 2 delivers its last copies in round 2 + scope... strictly the
+    // last on_message fires during round 2 + scope's delivery phase, which
+    // happens after this call; but those messages can only originate from
+    // nodes at distance exactly scope + 1 and are duplicates for us).
+    compute_tree(ctx);
+    flood_payload_and_finish(ctx);
+  }
+}
+
+void RemSpanProtocol::flood_payload_and_finish(NodeContext& ctx) {
+  std::vector<std::uint32_t> payload;
+  payload.reserve(tree_edges_.size() * 2);
+  for (const Edge& e : tree_edges_) {
+    payload.push_back(e.u);
+    payload.push_back(e.v);
+  }
+  flood_.originate(ctx, kTypeTree, config_.flood_scope(), std::move(payload));
+  tree_flooded_ = true;
+}
+
+void RemSpanProtocol::on_message(NodeContext& ctx, const Message& msg) {
+  switch (msg.type) {
+    case kTypeHello:
+      neighbors_.push_back(msg.origin);
+      break;
+    case kTypeNeighborList: {
+      if (!flood_.accept(ctx, msg)) break;
+      std::vector<NodeId> list(msg.payload.begin(), msg.payload.end());
+      topology_.emplace(msg.origin, std::move(list));
+      break;
+    }
+    case kTypeTree: {
+      if (!flood_.accept(ctx, msg)) break;
+      for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+        heard_edges_.push_back(make_edge(msg.payload[i], msg.payload[i + 1]));
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void RemSpanProtocol::compute_tree(NodeContext& ctx) {
+  tree_computed_ = true;
+  const NodeId self = ctx.id();
+
+  // Reconstruct the local topology from the received neighbor lists. Node
+  // ids are compacted monotonically so that every id-based tie-break in
+  // DomTreeBuilder matches the centralized computation on the full graph.
+  std::vector<NodeId> known;
+  known.push_back(self);
+  for (const NodeId v : neighbors_) known.push_back(v);
+  for (const auto& [origin, list] : topology_) {
+    known.push_back(origin);
+    known.insert(known.end(), list.begin(), list.end());
+  }
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+
+  std::unordered_map<NodeId, NodeId> local_id;
+  local_id.reserve(known.size());
+  for (NodeId i = 0; i < known.size(); ++i) local_id.emplace(known[i], i);
+
+  GraphBuilder builder(static_cast<NodeId>(known.size()));
+  for (const NodeId v : neighbors_) builder.add_edge(local_id.at(self), local_id.at(v));
+  for (const auto& [origin, list] : topology_) {
+    for (const NodeId v : list) builder.add_edge(local_id.at(origin), local_id.at(v));
+  }
+  const Graph local = builder.build();
+
+  DomTreeBuilder trees(local);
+  const NodeId root = local_id.at(self);
+  RootedTree tree = [&] {
+    switch (config_.kind) {
+      case RemSpanConfig::Kind::kLowStretchGreedy:
+        return trees.greedy(root, config_.r, config_.beta);
+      case RemSpanConfig::Kind::kLowStretchMis:
+        return trees.mis(root, config_.r);
+      case RemSpanConfig::Kind::kKConnGreedy:
+        return trees.greedy_k(root, config_.k);
+      case RemSpanConfig::Kind::kKConnMis:
+        return trees.mis_k(root, config_.k);
+    }
+    return RootedTree(root);
+  }();
+
+  tree_edges_.clear();
+  for (const Edge& e : tree.edges()) {
+    tree_edges_.push_back(make_edge(known[e.u], known[e.v]));
+  }
+  heard_edges_.insert(heard_edges_.end(), tree_edges_.begin(), tree_edges_.end());
+}
+
+DistributedRunResult run_remspan_distributed(const Graph& g, const RemSpanConfig& config) {
+  Network net(g, [&config](NodeId) { return std::make_unique<RemSpanProtocol>(config); });
+  const std::uint32_t rounds = net.run(config.expected_rounds() + 4);
+
+  EdgeSet spanner(g);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const auto& protocol = dynamic_cast<const RemSpanProtocol&>(net.node(v));
+    for (const Edge& e : protocol.tree_edges()) {
+      const EdgeId id = g.find_edge(e.u, e.v);
+      REMSPAN_CHECK(id != kInvalidEdge);
+      spanner.insert(id);
+    }
+  }
+  return DistributedRunResult{std::move(spanner), net.stats(), rounds};
+}
+
+}  // namespace remspan

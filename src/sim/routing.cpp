@@ -1,0 +1,68 @@
+#include "sim/routing.hpp"
+
+#include "graph/bfs.hpp"
+#include "graph/views.hpp"
+#include "util/thread_pool.hpp"
+
+namespace remspan {
+
+RouteResult greedy_route(const EdgeSet& h, NodeId s, NodeId t, std::size_t max_hops) {
+  const Graph& g = h.graph();
+  if (max_hops == 0) max_hops = static_cast<std::size_t>(g.num_nodes()) + 1;
+  RouteResult result;
+  result.path.push_back(s);
+  if (s == t) {
+    result.delivered = true;
+    return result;
+  }
+  BoundedBfs bfs(g.num_nodes());
+  NodeId current = s;
+  while (result.path.size() - 1 < max_hops) {
+    if (g.has_edge(current, t)) {
+      // t is a neighbor: deliver directly (it is trivially closest in H_c).
+      result.path.push_back(t);
+      result.delivered = true;
+      return result;
+    }
+    // Distances to t inside H_current: BFS from t over the augmented view
+    // (the graph is undirected, so d(x, t) = d(t, x)).
+    const AugmentedView view(h, current);
+    bfs.run(view, t);
+    NodeId best = kInvalidNode;
+    Dist best_dist = kUnreachable;
+    for (const NodeId x : g.neighbors(current)) {
+      const Dist d = bfs.dist(x);
+      if (d < best_dist || (d == best_dist && d != kUnreachable && x < best)) {
+        best_dist = d;
+        best = x;
+      }
+    }
+    if (best == kInvalidNode || best_dist == kUnreachable) {
+      return result;  // dead end: t unreachable in H_current
+    }
+    result.path.push_back(best);
+    current = best;
+    if (current == t) {
+      result.delivered = true;
+      return result;
+    }
+  }
+  return result;  // hop budget exhausted (cannot happen over a remote-spanner)
+}
+
+std::vector<RoutingSample> route_sample_pairs(
+    const EdgeSet& h, const std::vector<std::pair<NodeId, NodeId>>& pairs) {
+  const Graph& g = h.graph();
+  std::vector<RoutingSample> out(pairs.size());
+  parallel_for(0, pairs.size(), [&](std::size_t i) {
+    const auto [s, t] = pairs[i];
+    const RouteResult route = greedy_route(h, s, t);
+    RoutingSample sample{s, t, kUnreachable, kUnreachable};
+    sample.shortest = bfs_distance(GraphView(g), s, t);
+    if (route.delivered) sample.route_hops = static_cast<Dist>(route.hops());
+    out[i] = sample;
+  });
+  return out;
+}
+
+}  // namespace remspan

@@ -1,0 +1,44 @@
+// Greedy link-state routing over a remote-spanner (paper Section 1).
+//
+// A node c holding a packet for t computes distances in H_c (the advertised
+// sub-graph H plus its own links) and forwards to the G-neighbor closest to
+// t in H_c. Because the tail of the chosen path lies inside H, the next hop
+// can only do better: d_{H_{c'}}(c', t) <= d_{H_c}(c, t) - 1, so the route
+// delivers in at most d_{H_s}(s, t) hops whenever H is a remote-spanner.
+#pragma once
+
+#include <vector>
+
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan {
+
+struct RouteResult {
+  std::vector<NodeId> path;  // visited nodes, s first; ends at t iff delivered
+  bool delivered = false;
+
+  [[nodiscard]] std::size_t hops() const noexcept {
+    return path.empty() ? 0 : path.size() - 1;
+  }
+};
+
+/// Routes one packet from s to t greedily over H (augmented per hop).
+/// max_hops bounds the walk (0 means num_nodes + 1, enough for any simple
+/// route). Fails (delivered = false) iff some intermediate node sees t as
+/// unreachable in its augmented graph or the hop budget is exhausted.
+[[nodiscard]] RouteResult greedy_route(const EdgeSet& h, NodeId s, NodeId t,
+                                       std::size_t max_hops = 0);
+
+/// Convenience: route length for every pair of a sample; used by the
+/// routing bench. Returns hops or kUnreachable per pair.
+struct RoutingSample {
+  NodeId s;
+  NodeId t;
+  Dist route_hops;
+  Dist shortest;
+};
+[[nodiscard]] std::vector<RoutingSample> route_sample_pairs(
+    const EdgeSet& h, const std::vector<std::pair<NodeId, NodeId>>& pairs);
+
+}  // namespace remspan

@@ -1,0 +1,25 @@
+#include "util/bitset.hpp"
+
+#include <bit>
+
+namespace remspan {
+
+std::size_t DynamicBitset::count() const noexcept {
+  std::size_t total = 0;
+  for (const auto w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  REMSPAN_CHECK(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  REMSPAN_CHECK(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+}  // namespace remspan

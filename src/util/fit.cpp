@@ -1,0 +1,75 @@
+#include "util/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys) {
+  REMSPAN_CHECK(xs.size() == ys.size());
+  REMSPAN_CHECK(xs.size() >= 2);
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  LinearFit fit;
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  if (ss_tot > 0) {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const double e = ys[i] - (fit.slope * xs[i] + fit.intercept);
+      ss_res += e * e;
+    }
+    fit.r_squared = 1.0 - ss_res / ss_tot;
+  }
+  return fit;
+}
+
+LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys) {
+  REMSPAN_CHECK(xs.size() == ys.size());
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    REMSPAN_CHECK(xs[i] > 0 && ys[i] > 0);
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  return fit_linear(lx, ly);
+}
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0;
+  for (const double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  if (xs.size() % 2 == 1) return xs[mid];
+  const double hi = xs[mid];
+  const double lo = *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace remspan

@@ -1,0 +1,36 @@
+// Least-squares fitting used to check the paper's asymptotic claims:
+// fitting log(edges) against log(n) estimates the growth exponent that
+// Theorems 1-3 predict (4/3 on random UDGs, 1 on doubling UBGs, 2 for the
+// full topology).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace remspan {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares of y against x. Requires xs.size() == ys.size()
+/// and at least two points.
+[[nodiscard]] LinearFit fit_linear(std::span<const double> xs, std::span<const double> ys);
+
+/// Fits y = C * x^a by OLS on (log x, log y); returns slope = a. All inputs
+/// must be strictly positive.
+[[nodiscard]] LinearFit fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// Arithmetic mean; returns 0 for empty input.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation; returns 0 for fewer than two points.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Exact median (copies and sorts).
+[[nodiscard]] double median(std::vector<double> xs);
+
+}  // namespace remspan

@@ -1,0 +1,89 @@
+#include "util/options.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace remspan {
+
+Options::Options(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  tokens.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  parse(tokens);
+}
+
+Options::Options(std::vector<std::string> tokens) { parse(tokens); }
+
+void Options::parse(const std::vector<std::string>& tokens) {
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok == "--help" || tok == "-h") {
+      help_ = true;
+      continue;
+    }
+    if (tok.rfind("--", 0) != 0) continue;  // ignore positional arguments
+    std::string name = tok.substr(2);
+    std::string value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      value = tokens[++i];
+    } else {
+      value = "1";  // bare flag
+    }
+    values_[name] = value;
+    consumed_[name] = false;
+  }
+}
+
+std::optional<std::string> Options::lookup(const std::string& name) {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Options::get_int(const std::string& name, std::int64_t fallback) {
+  described_.emplace_back(name, std::to_string(fallback));
+  if (const auto v = lookup(name)) return std::stoll(*v);
+  return fallback;
+}
+
+double Options::get_double(const std::string& name, double fallback) {
+  described_.emplace_back(name, std::to_string(fallback));
+  if (const auto v = lookup(name)) return std::stod(*v);
+  return fallback;
+}
+
+std::string Options::get_string(const std::string& name, const std::string& fallback) {
+  described_.emplace_back(name, fallback);
+  if (const auto v = lookup(name)) return *v;
+  return fallback;
+}
+
+bool Options::get_flag(const std::string& name) {
+  described_.emplace_back(name, "off");
+  if (const auto v = lookup(name)) return *v != "0" && *v != "false";
+  return false;
+}
+
+std::string Options::usage() const {
+  std::ostringstream out;
+  out << "options:\n";
+  for (const auto& [name, fallback] : described_) {
+    out << "  --" << name << " (default: " << fallback << ")\n";
+  }
+  return out.str();
+}
+
+std::vector<std::string> Options::unknown_options() const {
+  std::vector<std::string> out;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace remspan

@@ -1,0 +1,45 @@
+// Minimal command-line option parser used by every bench and example binary.
+// Syntax: --name value or --name=value; --help prints registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace remspan {
+
+class Options {
+ public:
+  Options(int argc, const char* const* argv);
+
+  /// Constructs from pre-split tokens (used by tests).
+  explicit Options(std::vector<std::string> tokens);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback);
+  [[nodiscard]] double get_double(const std::string& name, double fallback);
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback);
+  [[nodiscard]] bool get_flag(const std::string& name);
+
+  /// True if --help was passed; callers should print usage() and exit.
+  [[nodiscard]] bool help_requested() const noexcept { return help_; }
+
+  /// Human-readable list of every option queried so far with its fallback.
+  [[nodiscard]] std::string usage() const;
+
+  /// Options present on the command line that were never queried; useful to
+  /// catch typos in bench invocations.
+  [[nodiscard]] std::vector<std::string> unknown_options() const;
+
+ private:
+  void parse(const std::vector<std::string>& tokens);
+  [[nodiscard]] std::optional<std::string> lookup(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::pair<std::string, std::string>> described_;
+  bool help_ = false;
+};
+
+}  // namespace remspan

@@ -1,0 +1,59 @@
+// Common scalar types, constants and checked-assertion helpers shared by
+// every remspan module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace remspan {
+
+/// Identifier of a graph node. Graphs are limited to 2^32-1 nodes which is
+/// far beyond anything the round simulator or the oracles can process.
+using NodeId = std::uint32_t;
+
+/// Identifier of an undirected edge inside a Graph's canonical edge list.
+using EdgeId = std::uint32_t;
+
+/// Hop distance. kUnreachable plays the role of +infinity.
+using Dist = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr Dist kUnreachable = std::numeric_limits<Dist>::max();
+
+/// Error thrown on violated REMSPAN_CHECK conditions. Deriving from
+/// logic_error keeps the failures catchable in tests.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const std::source_location& loc) {
+  throw CheckError(std::string("REMSPAN_CHECK failed: ") + expr + " at " + loc.file_name() +
+                   ":" + std::to_string(loc.line()));
+}
+}  // namespace detail
+
+/// Always-on invariant check (cheap conditions only). Unlike assert() it is
+/// active in release builds: the algorithms in core/ encode paper invariants
+/// with it and the test suite relies on them firing.
+#define REMSPAN_CHECK(cond)                                                  \
+  do {                                                                       \
+    if (!(cond)) [[unlikely]] {                                              \
+      ::remspan::detail::check_failed(#cond, std::source_location::current()); \
+    }                                                                        \
+  } while (false)
+
+/// Saturating addition on hop distances: anything involving kUnreachable
+/// stays kUnreachable.
+[[nodiscard]] constexpr Dist dist_add(Dist a, Dist b) noexcept {
+  if (a == kUnreachable || b == kUnreachable) return kUnreachable;
+  return a + b;
+}
+
+}  // namespace remspan

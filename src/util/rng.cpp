@@ -1,0 +1,119 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <unordered_set>
+
+namespace remspan {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not start in the all-zero state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x2545F4914F6CDD1Dull;
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = std::rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = std::rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method.
+  while (true) {
+    const std::uint64_t x = (*this)();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_real() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform_real();
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform_real() < p; }
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0) return 0;
+  // For large means, split: Poisson(a+b) = Poisson(a) + Poisson(b). Keeps the
+  // per-chunk inversion numerically safe (exp(-mean) underflows past ~700).
+  std::uint64_t total = 0;
+  while (mean > 32.0) {
+    // Atkinson-style: approximate the 32-mean chunk by exact inversion.
+    const double chunk = 32.0;
+    double l = std::exp(-chunk);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= uniform_real();
+    } while (p > l);
+    total += k - 1;
+    mean -= chunk;
+  }
+  const double l = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform_real();
+  } while (p > l);
+  return total + k - 1;
+}
+
+std::vector<std::uint64_t> Rng::sample_without_replacement(std::uint64_t n,
+                                                           std::uint64_t m) noexcept {
+  m = std::min(m, n);
+  std::vector<std::uint64_t> out;
+  out.reserve(m);
+  std::unordered_set<std::uint64_t> chosen;
+  // Floyd's algorithm: uniform sample of size m in O(m) expected draws.
+  for (std::uint64_t j = n - m; j < n; ++j) {
+    const std::uint64_t t = uniform(j + 1);
+    if (chosen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      chosen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::split() noexcept {
+  const std::uint64_t child_seed = (*this)();
+  return Rng(child_seed);
+}
+
+}  // namespace remspan

@@ -1,0 +1,74 @@
+// Deterministic random number generation. Every stochastic component of the
+// library (graph generators, Baswana-Sen sampling, experiment seeds) draws
+// from Rng so that a (seed) pair fully reproduces a run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// splitmix64 step; used to expand a single 64-bit seed into xoshiro state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Small, fast, passes BigCrush; statistically more
+/// than adequate for workload generation, and cheap enough to keep one per
+/// worker thread.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~std::uint64_t{0};
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform real in [0, 1).
+  [[nodiscard]] double uniform_real() noexcept;
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Poisson-distributed count with the given mean (inversion for small
+  /// means, PTRS-like normal-rejection handled via repeated splitting for
+  /// large means).
+  [[nodiscard]] std::uint64_t poisson(double mean) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) noexcept {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Sample m distinct indices from [0, n) (Floyd's algorithm flavor).
+  [[nodiscard]] std::vector<std::uint64_t> sample_without_replacement(std::uint64_t n,
+                                                                      std::uint64_t m) noexcept;
+
+  /// Derive an independent child generator; used to hand one Rng per thread
+  /// or per experiment repetition.
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace remspan

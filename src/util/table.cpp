@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  REMSPAN_CHECK(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::format_cell(double v) { return format_double(v); }
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    out << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      out << (c + 1 == row.size() ? " |" : " | ");
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  out << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out << ',';
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string format_double(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+}  // namespace remspan

@@ -1,0 +1,51 @@
+// Console table / CSV emission for bench binaries. Every bench prints the
+// rows it reproduces from the paper through one of these writers so that
+// EXPERIMENTS.md can be regenerated mechanically.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace remspan {
+
+/// Column-aligned plain-text table. Usage:
+///   Table t({"n", "edges", "stretch"});
+///   t.add_row({"100", "423", "1.50"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a row from heterogeneous printable values.
+  template <typename... Args>
+  void add(const Args&... args) {
+    add_row({format_cell(args)...});
+  }
+
+  void print(std::ostream& out) const;
+  [[nodiscard]] std::string to_csv() const;
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  static std::string format_cell(const std::string& v) { return v; }
+  static std::string format_cell(const char* v) { return v; }
+  static std::string format_cell(double v);
+  template <typename T>
+    requires std::is_integral_v<T>
+  static std::string format_cell(T v) {
+    return std::to_string(v);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (fixed notation).
+[[nodiscard]] std::string format_double(double v, int precision = 3);
+
+}  // namespace remspan

@@ -1,0 +1,156 @@
+// BFS over the three views (G, H, H_u) and bounded-depth behaviour.
+#include <gtest/gtest.h>
+
+#include "geom/synthetic.hpp"
+#include "graph/bfs.hpp"
+#include "graph/distances.hpp"
+#include "graph/edge_set.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(BoundedBfs, PathDistances) {
+  const Graph g = path_graph(6);
+  BoundedBfs bfs(6);
+  bfs.run(GraphView(g), 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(bfs.dist(v), v);
+}
+
+TEST(BoundedBfs, DepthBoundRespected) {
+  const Graph g = path_graph(10);
+  BoundedBfs bfs(10);
+  bfs.run(GraphView(g), 0, 3);
+  EXPECT_EQ(bfs.dist(3), 3u);
+  EXPECT_EQ(bfs.dist(4), kUnreachable);
+  EXPECT_FALSE(bfs.reached(9));
+  EXPECT_EQ(bfs.order().size(), 4u);
+}
+
+TEST(BoundedBfs, ReusableAcrossRuns) {
+  const Graph g = cycle_graph(8);
+  BoundedBfs bfs(8);
+  bfs.run(GraphView(g), 0);
+  EXPECT_EQ(bfs.dist(4), 4u);
+  bfs.run(GraphView(g), 4, 1);
+  EXPECT_EQ(bfs.dist(4), 0u);
+  EXPECT_EQ(bfs.dist(3), 1u);
+  EXPECT_EQ(bfs.dist(0), kUnreachable);  // stale state must be gone
+}
+
+TEST(BoundedBfs, ParentChainsTraceShortestPaths) {
+  const Graph g = grid_graph(5, 5);
+  BoundedBfs bfs(g.num_nodes());
+  bfs.run(GraphView(g), 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    // Walking parents from v must reach the source in exactly dist(v) hops.
+    NodeId cur = v;
+    Dist steps = 0;
+    while (cur != 0) {
+      cur = bfs.parent(cur);
+      ASSERT_NE(cur, kInvalidNode);
+      ++steps;
+    }
+    EXPECT_EQ(steps, bfs.dist(v));
+  }
+}
+
+TEST(BoundedBfs, OrderHasNonDecreasingDistance) {
+  Rng rng(5);
+  const Graph g = gnp(50, 0.1, rng);
+  BoundedBfs bfs(50);
+  bfs.run(GraphView(g), 0);
+  for (std::size_t i = 1; i < bfs.order().size(); ++i) {
+    EXPECT_LE(bfs.dist(bfs.order()[i - 1]), bfs.dist(bfs.order()[i]));
+  }
+}
+
+TEST(SubgraphView, EmptySubgraphDisconnects) {
+  const Graph g = path_graph(4);
+  const EdgeSet h(g);  // no edges selected
+  EXPECT_EQ(bfs_distance(SubgraphView(h), 0, 3), kUnreachable);
+}
+
+TEST(SubgraphView, PartialSubgraphDistances) {
+  const Graph g = cycle_graph(6);
+  EdgeSet h(g);
+  // Keep only the path 0-1-2-3-4-5 (drop the closing edge 5-0).
+  for (NodeId v = 1; v < 6; ++v) h.insert(v - 1, v);
+  EXPECT_EQ(bfs_distance(SubgraphView(h), 0, 5), 5u);
+  EXPECT_EQ(bfs_distance(GraphView(g), 0, 5), 1u);
+}
+
+TEST(AugmentedView, CenterGetsAllItsEdges) {
+  const Graph g = cycle_graph(6);
+  const EdgeSet h(g);  // empty spanner
+  // H_0 = star of node 0: nodes 1 and 5 at distance 1, others unreachable.
+  const AugmentedView view(h, 0);
+  const auto dist = bfs_distances(view, 0);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[5], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(AugmentedView, SymmetricFromNeighborSide) {
+  const Graph g = path_graph(3);
+  const EdgeSet h(g);  // empty
+  // From node 1 (a G-neighbor of center 0), center must be visible.
+  const AugmentedView view(h, 0);
+  const auto dist = bfs_distances(view, 1);
+  EXPECT_EQ(dist[0], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);  // edge 1-2 is neither in H nor incident to 0
+}
+
+TEST(AugmentedView, CombinesSpannerAndStar) {
+  // G = path 0-1-2-3; H = {2-3}. In H_0: 0-1 (star), 1-2 missing, so 3 is
+  // reachable only if 1-2 in H. Check both ways.
+  const Graph g = path_graph(4);
+  EdgeSet h(g);
+  h.insert(2, 3);
+  EXPECT_EQ(bfs_distance(AugmentedView(h, 0), 0, 3), kUnreachable);
+  h.insert(1, 2);
+  EXPECT_EQ(bfs_distance(AugmentedView(h, 0), 0, 3), 3u);
+}
+
+TEST(AugmentedView, NoDuplicateNeighborEnumeration) {
+  // Edge (0,1) present in H and incident to center 0: the view must not
+  // enumerate node 1 twice from 0, or 0 twice from 1.
+  const Graph g = path_graph(3);
+  EdgeSet h(g, true);
+  const AugmentedView view(h, 0);
+  int count = 0;
+  view.for_each_neighbor(1, [&](NodeId v) {
+    if (v == 0) ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(AllPairsDistances, MatchesPerSourceBfs) {
+  Rng rng(9);
+  const Graph g = gnp(40, 0.15, rng);
+  const DistanceMatrix dm = all_pairs_distances(GraphView(g));
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    const auto row = bfs_distances(GraphView(g), u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(dm(u, v), row[v]);
+  }
+}
+
+TEST(AllPairsDistances, SymmetricOnUndirectedGraphs) {
+  Rng rng(10);
+  const Graph g = gnp(35, 0.12, rng);
+  const DistanceMatrix dm = all_pairs_distances(GraphView(g));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(dm(u, v), dm(v, u));
+  }
+}
+
+TEST(Distances, DiameterOfCycle) {
+  const Graph g = cycle_graph(10);
+  const DistanceMatrix dm = all_pairs_distances(GraphView(g));
+  EXPECT_EQ(diameter(dm), 5u);
+  EXPECT_EQ(eccentricity(dm.row(0)), 5u);
+}
+
+}  // namespace
+}  // namespace remspan

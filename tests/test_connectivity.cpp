@@ -1,0 +1,89 @@
+// Components, induced subgraphs and pairwise vertex connectivity.
+#include <gtest/gtest.h>
+
+#include "geom/synthetic.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/disjoint_paths.hpp"
+#include "graph/edge_set.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(Connectivity, SingleNodeIsConnected) {
+  GraphBuilder b(1);
+  EXPECT_TRUE(is_connected(b.build()));
+}
+
+TEST(Connectivity, EmptyGraphIsConnected) {
+  GraphBuilder b(0);
+  EXPECT_TRUE(is_connected(b.build()));
+}
+
+TEST(Connectivity, TwoIsolatedNodesAreNot) {
+  GraphBuilder b(2);
+  EXPECT_FALSE(is_connected(b.build()));
+}
+
+TEST(Connectivity, EdgeSetComponents) {
+  const Graph g = cycle_graph(6);
+  EdgeSet h(g);
+  h.insert(0, 1);
+  h.insert(3, 4);
+  const Components comps = connected_components(h);
+  // {0,1}, {3,4}, {2}, {5} -> 4 components.
+  EXPECT_EQ(comps.count, 4u);
+}
+
+TEST(Connectivity, CompleteGraphConnectivity) {
+  const Graph g = complete_graph(7);
+  // Menger: between adjacent nodes of K_n, n-1 disjoint paths (1 direct +
+  // n-2 through the others).
+  EXPECT_EQ(vertex_connectivity(g, 0, 6), 6u);
+}
+
+TEST(Connectivity, CycleIsTwoConnected) {
+  const Graph g = cycle_graph(9);
+  EXPECT_EQ(vertex_connectivity(g, 0, 4), 2u);
+  EXPECT_EQ(vertex_connectivity(g, 0, 1), 2u);
+}
+
+TEST(Connectivity, TreeIsOneConnected) {
+  Rng rng(41);
+  const Graph g = random_tree(30, rng);
+  EXPECT_EQ(vertex_connectivity(g, 0, 29 % 30), 1u);
+}
+
+TEST(Connectivity, GridInteriorConnectivity) {
+  const Graph g = grid_graph(5, 5);
+  // Opposite corners of a grid: 2 disjoint paths (along the two sides).
+  EXPECT_EQ(vertex_connectivity(g, 0, 24), 2u);
+}
+
+TEST(Connectivity, MatchesDisjointPathOracleOnRandomGraphs) {
+  Rng rng(43);
+  for (int rep = 0; rep < 4; ++rep) {
+    const Graph g = connected_gnp(25, 0.2, rng);
+    for (NodeId s = 0; s < 5; ++s) {
+      for (NodeId t = 10; t < 13; ++t) {
+        const Dist conn = vertex_connectivity(g, s, t);
+        const auto result = min_disjoint_paths(GraphView(g), s, t, conn + 2);
+        EXPECT_EQ(result.connectivity(), conn);
+      }
+    }
+  }
+}
+
+TEST(Connectivity, LargestComponentExtraction) {
+  Rng rng(45);
+  // Sparse G(n,p) below the connectivity threshold usually splits.
+  const Graph g = gnp(100, 0.015, rng);
+  const Components comps = connected_components(g);
+  const auto keep = comps.largest();
+  const auto sub = induced_subgraph(g, keep);
+  EXPECT_TRUE(is_connected(sub.graph));
+  EXPECT_EQ(sub.graph.num_nodes(), keep.size());
+}
+
+}  // namespace
+}  // namespace remspan

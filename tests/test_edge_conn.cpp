@@ -1,0 +1,159 @@
+// Edge-disjoint path oracle and the edge-connectivity extension.
+#include <gtest/gtest.h>
+
+#include "analysis/edge_conn_oracle.hpp"
+#include "analysis/stretch_oracle.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/synthetic.hpp"
+#include "graph/edge_disjoint_paths.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(EdgeDisjointPaths, ThetaGraphMatchesNodeVersion) {
+  // On theta graphs the disjoint paths are node-disjoint anyway.
+  for (Dist k = 1; k <= 4; ++k) {
+    const Graph g = theta_graph(k, 3);
+    const auto result = min_edge_disjoint_paths(GraphView(g), 0, 1, k + 1);
+    ASSERT_EQ(result.connectivity(), k) << "k=" << k;
+    for (Dist kp = 1; kp <= k; ++kp) {
+      EXPECT_EQ(result.d(kp), static_cast<std::uint64_t>(kp) * 3);
+    }
+  }
+}
+
+TEST(EdgeDisjointPaths, SharedNodeAllowed) {
+  // Bowtie: two triangles sharing node 2; s=0, t=4. Node connectivity is 1
+  // (all paths cross 2) but edge connectivity is 2.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(2, 4);
+  const Graph g = b.build();
+  const auto node = min_disjoint_paths(GraphView(g), 0, 4, 3);
+  const auto edge = min_edge_disjoint_paths(GraphView(g), 0, 4, 3);
+  EXPECT_EQ(node.connectivity(), 1u);
+  EXPECT_EQ(edge.connectivity(), 2u);
+  EXPECT_EQ(edge.d(1), 2u);       // 0-2-4
+  EXPECT_EQ(edge.d(2), 2u + 4u);  // plus 0-1-2-3-4 (shares node 2, no edges)
+}
+
+TEST(EdgeDisjointPaths, NeverExceedsNodeDisjointCount) {
+  Rng rng(801);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = connected_gnp(25, 0.2, rng);
+    for (NodeId s = 0; s < 5; ++s) {
+      const NodeId t = 20 + s;
+      const auto node = min_disjoint_paths(GraphView(g), s, t, 6);
+      const auto edge = min_edge_disjoint_paths(GraphView(g), s, t, 6);
+      // Edge connectivity >= node connectivity; for equal k', the
+      // edge-disjoint optimum cannot be longer than the node-disjoint one.
+      EXPECT_GE(edge.connectivity(), node.connectivity());
+      for (Dist kp = 1; kp <= node.connectivity(); ++kp) {
+        EXPECT_LE(edge.d(kp), node.d(kp)) << "s=" << s << " kp=" << kp;
+      }
+      // k' = 1 must agree with plain shortest paths for both.
+      if (node.connectivity() >= 1) {
+        EXPECT_EQ(edge.d(1), node.d(1));
+      }
+    }
+  }
+}
+
+TEST(EdgeDisjointPaths, CycleHasTwoEdgeDisjointPaths) {
+  const Graph g = cycle_graph(9);
+  const auto result = min_edge_disjoint_paths(GraphView(g), 0, 4, 3);
+  EXPECT_EQ(result.connectivity(), 2u);
+  EXPECT_EQ(result.d(2), 9u);  // 4 + 5, the whole cycle
+}
+
+TEST(EdgeConnOracle, FullGraphExact) {
+  Rng rng(803);
+  const Graph g = connected_gnp(20, 0.3, rng);
+  const EdgeSet h(g, true);
+  const auto report = check_k_edge_connecting_stretch(g, h, 3, Stretch{1.0, 0.0});
+  EXPECT_TRUE(report.satisfied);
+  EXPECT_DOUBLE_EQ(report.max_ratio, 1.0);
+}
+
+TEST(EdgeConnOracle, DetectsLoss) {
+  // Keep one of the two cycle directions only.
+  const Graph g = cycle_graph(8);
+  EdgeSet h(g);
+  for (NodeId v = 1; v <= 4; ++v) h.insert(v - 1, v);
+  const auto report = check_k_edge_connecting_stretch(g, h, 2, Stretch{5.0, 5.0});
+  EXPECT_FALSE(report.satisfied);
+  EXPECT_GT(report.connectivity_losses, 0u);
+}
+
+TEST(EdgeConnExtension, BoostedCoveragePreservesEdgeDistancesOnSamples) {
+  // Empirical support for the concluding-remark extension: coverage k+1
+  // preserved every sampled k-edge-connecting distance in our experiments.
+  Rng rng(805);
+  for (int rep = 0; rep < 3; ++rep) {
+    const Graph g = connected_gnp(30, 0.25, rng);
+    const EdgeSet h = build_k_connecting_spanner(g, 3);  // coverage k+1 for k=2
+    const auto report =
+        check_k_edge_connecting_stretch(g, h, 2, Stretch{1.0, 0.0}, 120, 805 + rep);
+    EXPECT_TRUE(report.satisfied) << "rep=" << rep;
+  }
+}
+
+TEST(NewGenerators, BarabasiAlbertShape) {
+  Rng rng(807);
+  const Graph g = barabasi_albert(200, 3, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // m edges per new node + seed clique, minus collapsed duplicates.
+  EXPECT_GE(g.num_edges(), 3u * (200u - 4u));
+  // Preferential attachment concentrates degree: the max degree should be
+  // far above the average.
+  EXPECT_GT(g.max_degree(), 3 * static_cast<Dist>(g.average_degree()));
+}
+
+TEST(NewGenerators, WattsStrogatzShape) {
+  Rng rng(809);
+  const Graph g = watts_strogatz(120, 6, 0.1, rng);
+  EXPECT_EQ(g.num_nodes(), 120u);
+  // Each node initiates k/2 = 3 edges; duplicates may collapse slightly.
+  EXPECT_GE(g.num_edges(), 340u);
+  EXPECT_LE(g.num_edges(), 360u);
+}
+
+TEST(NewGenerators, WattsStrogatzZeroRewireIsLattice) {
+  Rng rng(811);
+  const Graph g = watts_strogatz(30, 4, 0.0, rng);
+  for (NodeId v = 0; v < 30; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(NewGenerators, RandomRegularDegreesBounded) {
+  Rng rng(813);
+  const Graph g = random_regular(100, 6, rng);
+  std::size_t at_degree = 0;
+  for (NodeId v = 0; v < 100; ++v) {
+    EXPECT_LE(g.degree(v), 6u);
+    at_degree += (g.degree(v) == 6u);
+  }
+  // Most nodes keep full degree (few pairing collisions).
+  EXPECT_GT(at_degree, 70u);
+}
+
+TEST(NewGenerators, GuaranteesHoldOnNewFamilies) {
+  // The universality claim, unit-test sized.
+  Rng rng(815);
+  const Graph ba = barabasi_albert(60, 2, rng);
+  const Graph ws = watts_strogatz(60, 4, 0.2, rng);
+  for (const Graph* g : {&ba, &ws}) {
+    const EdgeSet h = build_k_connecting_spanner(*g, 1);
+    EXPECT_TRUE(check_remote_stretch(*g, h, Stretch{1.0, 0.0}).satisfied);
+  }
+}
+
+}  // namespace
+}  // namespace remspan

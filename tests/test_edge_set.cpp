@@ -1,0 +1,110 @@
+// EdgeSet: insertion, membership, unions, filtered adjacency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geom/synthetic.hpp"
+#include "graph/edge_set.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(EdgeSet, StartsEmpty) {
+  const Graph g = complete_graph(5);
+  const EdgeSet h(g);
+  EXPECT_EQ(h.size(), 0u);
+  EXPECT_FALSE(h.contains(0, 1));
+}
+
+TEST(EdgeSet, FullConstructor) {
+  const Graph g = complete_graph(5);
+  const EdgeSet h(g, true);
+  EXPECT_EQ(h.size(), g.num_edges());
+  EXPECT_TRUE(h.contains(3, 4));
+}
+
+TEST(EdgeSet, InsertByEndpointsEitherOrder) {
+  const Graph g = path_graph(4);
+  EdgeSet h(g);
+  h.insert(2, 1);
+  EXPECT_TRUE(h.contains(1, 2));
+  EXPECT_TRUE(h.contains(2, 1));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(EdgeSet, InsertMissingEdgeThrows) {
+  const Graph g = path_graph(4);
+  EdgeSet h(g);
+  EXPECT_THROW(h.insert(0, 2), CheckError);
+}
+
+TEST(EdgeSet, UnionAccumulates) {
+  const Graph g = cycle_graph(6);
+  EdgeSet a(g);
+  EdgeSet b(g);
+  a.insert(0, 1);
+  b.insert(1, 2);
+  b.insert(0, 1);
+  a |= b;
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.contains(0, 1));
+  EXPECT_TRUE(a.contains(1, 2));
+}
+
+TEST(EdgeSet, DegreeInCountsSelectedOnly) {
+  const Graph g = star_graph(5);
+  EdgeSet h(g);
+  h.insert(0, 1);
+  h.insert(0, 2);
+  EXPECT_EQ(h.degree_in(0), 2u);
+  EXPECT_EQ(h.degree_in(1), 1u);
+  EXPECT_EQ(h.degree_in(4), 0u);
+}
+
+TEST(EdgeSet, ForEachNeighborFilters) {
+  const Graph g = complete_graph(5);
+  EdgeSet h(g);
+  h.insert(0, 2);
+  h.insert(0, 4);
+  std::set<NodeId> seen;
+  h.for_each_neighbor(0, [&](NodeId v) { seen.insert(v); });
+  EXPECT_EQ(seen, (std::set<NodeId>{2, 4}));
+}
+
+TEST(EdgeSet, EdgeListCanonical) {
+  Rng rng(21);
+  const Graph g = gnp(20, 0.3, rng);
+  EdgeSet h(g);
+  for (EdgeId id = 0; id < g.num_edges(); id += 3) h.insert(id);
+  const auto list = h.edge_list();
+  EXPECT_EQ(list.size(), h.size());
+  for (const Edge& e : list) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_TRUE(h.contains(e.u, e.v));
+  }
+}
+
+TEST(EdgeSet, EraseRemoves) {
+  const Graph g = path_graph(3);
+  EdgeSet h(g, true);
+  const EdgeId id = g.find_edge(0, 1);
+  h.erase(id);
+  EXPECT_FALSE(h.contains(0, 1));
+  EXPECT_TRUE(h.contains(1, 2));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(EdgeSet, EqualityComparesContent) {
+  const Graph g = cycle_graph(4);
+  EdgeSet a(g);
+  EdgeSet b(g);
+  EXPECT_EQ(a, b);
+  a.insert(0, 1);
+  EXPECT_FALSE(a == b);
+  b.insert(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace remspan

@@ -1,0 +1,159 @@
+// Geometry: metrics, point generators, unit ball graph construction
+// (bucketed construction cross-checked against brute force).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/ball_graph.hpp"
+#include "geom/points.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(Metric, L2Distance) {
+  const std::vector<double> a{0, 0};
+  const std::vector<double> b{3, 4};
+  EXPECT_DOUBLE_EQ(metric_distance(MetricKind::L2, a, b), 5.0);
+}
+
+TEST(Metric, L1Distance) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{4, 0, 3};
+  EXPECT_DOUBLE_EQ(metric_distance(MetricKind::L1, a, b), 5.0);
+}
+
+TEST(Metric, LInfDistance) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{4, 0};
+  EXPECT_DOUBLE_EQ(metric_distance(MetricKind::LInf, a, b), 3.0);
+}
+
+TEST(Metric, TriangleInequalityHolds) {
+  Rng rng(5);
+  const PointSet ps = uniform_points(30, 10.0, 3, rng);
+  for (const auto kind : {MetricKind::L2, MetricKind::L1, MetricKind::LInf}) {
+    for (std::size_t i = 0; i < 10; ++i) {
+      const auto a = ps.point(3 * i);
+      const auto b = ps.point(3 * i + 1);
+      const auto c = ps.point(3 * i + 2);
+      EXPECT_LE(metric_distance(kind, a, c),
+                metric_distance(kind, a, b) + metric_distance(kind, b, c) + 1e-12);
+    }
+  }
+}
+
+TEST(PointSet, StoresAndRetrieves) {
+  PointSet ps(2);
+  ps.add2(1.0, 2.0);
+  ps.add2(3.0, 4.0);
+  EXPECT_EQ(ps.size(), 2u);
+  EXPECT_DOUBLE_EQ(ps.point(1)[0], 3.0);
+  EXPECT_DOUBLE_EQ(ps.point(1)[1], 4.0);
+}
+
+TEST(Generators, UniformPointsInBounds) {
+  Rng rng(1);
+  const PointSet ps = uniform_points(200, 7.5, 2, rng);
+  EXPECT_EQ(ps.size(), 200u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (const double c : ps.point(i)) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 7.5);
+    }
+  }
+}
+
+TEST(Generators, PoissonCountConcentrates) {
+  Rng rng(2);
+  double total = 0;
+  const int reps = 40;
+  for (int i = 0; i < reps; ++i) {
+    total += static_cast<double>(poisson_points_in_square(5.0, 300.0, rng).size());
+  }
+  EXPECT_NEAR(total / reps, 300.0, 20.0);
+}
+
+TEST(Generators, ClusteredPointsInBounds) {
+  Rng rng(3);
+  const PointSet ps = clustered_points(150, 6.0, 2, 5, 0.8, rng);
+  EXPECT_EQ(ps.size(), 150u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    for (const double c : ps.point(i)) {
+      EXPECT_GE(c, 0.0);
+      EXPECT_LE(c, 6.0);
+    }
+  }
+}
+
+TEST(BallGraph, MatchesBruteForceL2) {
+  Rng rng(4);
+  PointSet ps = uniform_points(120, 4.0, 2, rng);
+  const GeometricGraph gg = unit_ball_graph(ps, MetricKind::L2, 1.0);
+  // Brute-force reference.
+  std::size_t expected_edges = 0;
+  for (NodeId a = 0; a < gg.points.size(); ++a) {
+    for (NodeId b = a + 1; b < gg.points.size(); ++b) {
+      const bool close =
+          metric_distance(MetricKind::L2, gg.points.point(a), gg.points.point(b)) <= 1.0;
+      EXPECT_EQ(gg.graph.has_edge(a, b), close) << a << "," << b;
+      expected_edges += close;
+    }
+  }
+  EXPECT_EQ(gg.graph.num_edges(), expected_edges);
+}
+
+TEST(BallGraph, MatchesBruteForceLInf3D) {
+  Rng rng(6);
+  PointSet ps = uniform_points(80, 3.0, 3, rng);
+  const GeometricGraph gg = unit_ball_graph(ps, MetricKind::LInf, 1.0);
+  std::size_t expected_edges = 0;
+  for (NodeId a = 0; a < gg.points.size(); ++a) {
+    for (NodeId b = a + 1; b < gg.points.size(); ++b) {
+      expected_edges +=
+          metric_distance(MetricKind::LInf, gg.points.point(a), gg.points.point(b)) <= 1.0;
+    }
+  }
+  EXPECT_EQ(gg.graph.num_edges(), expected_edges);
+}
+
+TEST(BallGraph, RadiusScalesNeighborhoods) {
+  Rng rng(8);
+  PointSet ps = uniform_points(100, 5.0, 2, rng);
+  PointSet ps_copy(2);
+  for (std::size_t i = 0; i < ps.size(); ++i) ps_copy.add(ps.point(i));
+  const GeometricGraph small = unit_ball_graph(std::move(ps), MetricKind::L2, 0.5);
+  const GeometricGraph large = unit_ball_graph(std::move(ps_copy), MetricKind::L2, 1.5);
+  EXPECT_LT(small.graph.num_edges(), large.graph.num_edges());
+}
+
+TEST(BallGraph, EdgeLengthsWithinRadius) {
+  Rng rng(9);
+  const GeometricGraph gg = uniform_unit_ball_graph(150, 6.0, 2, rng);
+  for (const Edge& e : gg.graph.edges()) {
+    EXPECT_LE(gg.edge_length(e), gg.radius + 1e-12);
+  }
+}
+
+TEST(BallGraph, RandomUdgDensityMatchesTheory) {
+  // Expected degree of a node away from the border is lambda * pi with
+  // lambda = n / side^2 the intensity; check within a loose factor (border
+  // effects lower the mean).
+  Rng rng(10);
+  const double side = 10.0;
+  const double mean_nodes = 800.0;
+  const GeometricGraph gg = random_unit_disk_graph(side, mean_nodes, rng);
+  const double lambda = mean_nodes / (side * side);
+  const double expected_degree = lambda * 3.14159265;
+  EXPECT_GT(gg.graph.average_degree(), 0.6 * expected_degree);
+  EXPECT_LT(gg.graph.average_degree(), 1.1 * expected_degree);
+}
+
+TEST(DoublingDimension, MonotoneInDim) {
+  EXPECT_LT(doubling_dimension_estimate(MetricKind::L2, 1),
+            doubling_dimension_estimate(MetricKind::L2, 3));
+  EXPECT_DOUBLE_EQ(doubling_dimension_estimate(MetricKind::LInf, 2), 2.0);
+}
+
+}  // namespace
+}  // namespace remspan

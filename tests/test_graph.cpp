@@ -1,0 +1,119 @@
+// Graph/GraphBuilder: CSR construction, edge ids, lookup.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/synthetic.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(GraphBuilder, EmptyGraph) {
+  GraphBuilder builder(0);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, SingleEdge) {
+  GraphBuilder builder(2);
+  builder.add_edge(1, 0);  // reversed input is canonicalized
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(0).u, 0u);
+  EXPECT_EQ(g.edge(0).v, 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+}
+
+TEST(GraphBuilder, DuplicatesMerged) {
+  GraphBuilder builder(3);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 0);
+  builder.add_edge(0, 1);
+  builder.add_edge(1, 2);
+  const Graph g = builder.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilder, SelfLoopRejected) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(1, 1), CheckError);
+}
+
+TEST(GraphBuilder, OutOfRangeRejected) {
+  GraphBuilder builder(3);
+  EXPECT_THROW(builder.add_edge(0, 3), CheckError);
+}
+
+TEST(Graph, AdjacencySorted) {
+  GraphBuilder builder(5);
+  builder.add_edge(2, 4);
+  builder.add_edge(2, 0);
+  builder.add_edge(2, 3);
+  builder.add_edge(2, 1);
+  const Graph g = builder.build();
+  const auto nbrs = g.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+  EXPECT_EQ(g.degree(2), 4u);
+  EXPECT_EQ(g.max_degree(), 4u);
+}
+
+TEST(Graph, IncidentEdgeIdsMatchNeighbors) {
+  Rng rng(7);
+  const Graph g = gnp(40, 0.2, rng);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto nbrs = g.neighbors(u);
+    const auto ids = g.incident_edges(u);
+    ASSERT_EQ(nbrs.size(), ids.size());
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const Edge& e = g.edge(ids[i]);
+      EXPECT_EQ(make_edge(u, nbrs[i]), e);
+    }
+  }
+}
+
+TEST(Graph, FindEdgeAgreesWithEdgeList) {
+  Rng rng(11);
+  const Graph g = gnp(30, 0.3, rng);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge& e = g.edge(id);
+    EXPECT_EQ(g.find_edge(e.u, e.v), id);
+    EXPECT_EQ(g.find_edge(e.v, e.u), id);
+  }
+  EXPECT_EQ(g.find_edge(0, 0), kInvalidEdge);
+}
+
+TEST(Graph, FindEdgeMissing) {
+  const Graph g = path_graph(4);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(0, 3), kInvalidEdge);
+  EXPECT_NE(g.find_edge(0, 1), kInvalidEdge);
+}
+
+TEST(Graph, DegreeSumIsTwiceEdges) {
+  Rng rng(3);
+  const Graph g = gnp(60, 0.1, rng);
+  std::size_t degree_sum = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) degree_sum += g.degree(u);
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+  EXPECT_DOUBLE_EQ(g.average_degree(),
+                   static_cast<double>(degree_sum) / static_cast<double>(g.num_nodes()));
+}
+
+TEST(Graph, CompleteGraphEdgeCount) {
+  const Graph g = complete_graph(10);
+  EXPECT_EQ(g.num_edges(), 45u);
+  EXPECT_EQ(g.max_degree(), 9u);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = 0; v < 10; ++v) {
+      EXPECT_EQ(g.has_edge(u, v), u != v);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace remspan

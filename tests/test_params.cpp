@@ -1,0 +1,70 @@
+// The eps <-> (r, beta) correspondence of Proposition 1 and the stretch
+// arithmetic used throughout.
+#include <gtest/gtest.h>
+
+#include "core/params.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(Params, RadiusForEps) {
+  EXPECT_EQ(domination_radius_for_eps(1.0), 2u);    // ceil(1/1)+1
+  EXPECT_EQ(domination_radius_for_eps(0.5), 3u);    // ceil(2)+1
+  EXPECT_EQ(domination_radius_for_eps(0.4), 4u);    // ceil(2.5)+1
+  EXPECT_EQ(domination_radius_for_eps(1.0 / 3), 4u);
+  EXPECT_EQ(domination_radius_for_eps(0.25), 5u);
+  EXPECT_EQ(domination_radius_for_eps(0.1), 11u);
+}
+
+TEST(Params, RadiusRejectsBadEps) {
+  EXPECT_THROW((void)domination_radius_for_eps(0.0), CheckError);
+  EXPECT_THROW((void)domination_radius_for_eps(-1.0), CheckError);
+  EXPECT_THROW((void)domination_radius_for_eps(1.5), CheckError);
+}
+
+TEST(Params, EffectiveEpsIsAtMostRequested) {
+  for (const double eps : {1.0, 0.7, 0.5, 0.33, 0.2, 0.125}) {
+    const Dist r = domination_radius_for_eps(eps);
+    EXPECT_LE(effective_eps(r), eps + 1e-12) << "eps=" << eps;
+  }
+}
+
+TEST(Params, EffectiveEpsRoundTripOnExactValues) {
+  // For eps = 1/q the correspondence is exact.
+  for (int q = 1; q <= 8; ++q) {
+    const double eps = 1.0 / q;
+    const Dist r = domination_radius_for_eps(eps);
+    EXPECT_DOUBLE_EQ(effective_eps(r), eps);
+  }
+}
+
+TEST(Params, StretchForRadius) {
+  const Stretch s2 = stretch_for_radius(2);  // eps' = 1 -> (2, -1)
+  EXPECT_DOUBLE_EQ(s2.alpha, 2.0);
+  EXPECT_DOUBLE_EQ(s2.beta, -1.0);
+  const Stretch s3 = stretch_for_radius(3);  // eps' = 1/2 -> (1.5, 0)
+  EXPECT_DOUBLE_EQ(s3.alpha, 1.5);
+  EXPECT_DOUBLE_EQ(s3.beta, 0.0);
+}
+
+TEST(Params, StretchBoundArithmetic) {
+  const Stretch s{1.5, 0.5};
+  EXPECT_DOUBLE_EQ(s.bound(2), 3.5);
+  EXPECT_DOUBLE_EQ(s.bound(0), 0.5);
+}
+
+TEST(Params, KConnectingBoundScalesBetaByK) {
+  const Stretch s{2.0, -1.0};
+  EXPECT_DOUBLE_EQ(k_connecting_bound(s, 10, 2), 18.0);  // 2*10 + 2*(-1)
+  EXPECT_DOUBLE_EQ(k_connecting_bound(s, 10, 1), 19.0);
+}
+
+TEST(Params, DistAddSaturates) {
+  EXPECT_EQ(dist_add(3, 4), 7u);
+  EXPECT_EQ(dist_add(kUnreachable, 1), kUnreachable);
+  EXPECT_EQ(dist_add(1, kUnreachable), kUnreachable);
+  EXPECT_EQ(dist_add(kUnreachable, kUnreachable), kUnreachable);
+}
+
+}  // namespace
+}  // namespace remspan

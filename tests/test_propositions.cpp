@@ -1,0 +1,192 @@
+// Parameterized property sweeps for the paper's propositions: both
+// directions of the characterizations on randomized inputs.
+//
+//   P1  (Prop. 1): inducing (ceil(1/eps)+1, 1)-dominating trees  <=>
+//                  (1+eps, 1-2eps)-remote-spanner.
+//   P4  (Prop. 4): inducing 2-connecting (2,1)-dominating trees  =>
+//                  2-connecting (2,-1)-remote-spanner.
+//   P5  (Prop. 5): inducing k-connecting (2,0)-dominating trees  <=>
+//                  k-connecting (1,0)-remote-spanner.
+//   R1  (§1.2):    any (alpha,beta)-spanner is an (alpha, beta-alpha+1)-
+//                  remote-spanner.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "analysis/kconn_oracle.hpp"
+#include "analysis/stretch_oracle.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "geom/synthetic.hpp"
+#include "graph/connectivity.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+Graph make_test_graph(int family, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case 0:
+      return connected_gnp(30, 0.15, rng);
+    case 1:
+      return connected_gnp(24, 0.3, rng);
+    case 2: {
+      const auto gg = uniform_unit_ball_graph(70, 4.0, 2, rng);
+      const auto comps = connected_components(gg.graph);
+      return induced_subgraph(gg.graph, comps.largest()).graph;
+    }
+    case 3:
+      return grid_graph(5, 6);
+    default:
+      return hypercube_graph(4);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 1, forward direction: union of (r,1)-dominating trees is a
+// (1+eps', 1-2eps')-remote-spanner with eps' = 1/(r-1).
+
+using P1Params = std::tuple<int /*family*/, int /*r*/, int /*algo*/>;
+
+class Proposition1Forward : public ::testing::TestWithParam<P1Params> {};
+
+TEST_P(Proposition1Forward, InducedTreesGiveStretch) {
+  const auto [family, r, algo_int] = GetParam();
+  const Graph g = make_test_graph(family, 1000 + static_cast<std::uint64_t>(family));
+  const auto algo = algo_int == 0 ? TreeAlgorithm::kGreedy : TreeAlgorithm::kMis;
+  const EdgeSet h = build_remote_spanner(g, static_cast<Dist>(r), 1, algo);
+  const Stretch s = stretch_for_radius(static_cast<Dist>(r));
+  const auto report = check_remote_stretch(g, h, s);
+  EXPECT_TRUE(report.satisfied)
+      << "family=" << family << " r=" << r << " worst=(" << report.worst_u << ","
+      << report.worst_v << ") dg=" << report.worst_dg << " dhu=" << report.worst_dhu
+      << " bound=" << s.bound(report.worst_dg);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, Proposition1Forward,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(2, 3, 4),
+                                            ::testing::Values(0, 1)));
+
+// ---------------------------------------------------------------------------
+// Proposition 1, converse direction: a sub-graph that fails to induce
+// dominating trees must violate the stretch. We approximate the converse by
+// removing an essential tree edge from a minimal spanner and checking the
+// stretch breaks — on instances engineered so the edge is critical.
+
+TEST(Proposition1Converse, RemovingCriticalTreeEdgeBreaksStretch) {
+  // Two hubs joined by a bridge; the bridge edge is in every dominating
+  // tree of nodes on the left reaching distance-2 nodes on the right.
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();  // path of 6 nodes
+  EdgeSet h = build_remote_spanner(g, 2, 1, TreeAlgorithm::kGreedy);
+  const Stretch s = stretch_for_radius(2);  // (2, -1)
+  ASSERT_TRUE(check_remote_stretch(g, h, s).satisfied);
+  // On a path, every inner edge is essential: drop one and the remote
+  // stretch for some pair becomes unbounded.
+  h.erase(g.find_edge(2, 3));
+  EXPECT_FALSE(check_remote_stretch(g, h, s).satisfied);
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 4: union of 2-connecting (2,1)-dominating trees is a
+// 2-connecting (2,-1)-remote-spanner.
+
+class Proposition4 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Proposition4, TwoConnectingStretchHolds) {
+  const int family = GetParam();
+  const Graph g = make_test_graph(family, 2000 + static_cast<std::uint64_t>(family));
+  const EdgeSet h = build_2connecting_spanner(g, 2);
+  const auto report = check_k_connecting_stretch(g, h, 2, Stretch{2.0, -1.0},
+                                                 /*max_pairs=*/200, /*seed=*/7);
+  EXPECT_TRUE(report.satisfied)
+      << "family=" << family << " losses=" << report.connectivity_losses << " worst=("
+      << report.worst_s << "," << report.worst_t << ") k'=" << report.worst_kprime
+      << " excess=" << report.max_excess;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, Proposition4, ::testing::Values(0, 1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Proposition 5 forward: union of k-connecting (2,0)-dominating trees is a
+// k-connecting (1,0)-remote-spanner (exact k-connecting distances).
+
+using P5Params = std::tuple<int /*family*/, int /*k*/>;
+
+class Proposition5Forward : public ::testing::TestWithParam<P5Params> {};
+
+TEST_P(Proposition5Forward, ExactKConnectingDistances) {
+  const auto [family, k] = GetParam();
+  const Graph g = make_test_graph(family, 3000 + static_cast<std::uint64_t>(family));
+  const EdgeSet h = build_k_connecting_spanner(g, static_cast<Dist>(k));
+  const auto report = check_k_connecting_stretch(g, h, static_cast<Dist>(k),
+                                                 Stretch{1.0, 0.0}, /*max_pairs=*/150,
+                                                 /*seed=*/11);
+  EXPECT_TRUE(report.satisfied)
+      << "family=" << family << " k=" << k << " losses=" << report.connectivity_losses
+      << " worst=(" << report.worst_s << "," << report.worst_t << ")";
+  EXPECT_DOUBLE_EQ(report.max_ratio, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, Proposition5Forward,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+// ---------------------------------------------------------------------------
+// Proposition 5 necessity: a (1,0)-remote-spanner must induce multipoint
+// relays — dropping the only 2-covering edge breaks exactness.
+
+TEST(Proposition5Necessity, DroppingRelayEdgeBreaksExactness) {
+  // u=0 - {1} - v=2 with an extra longer route 0-3-4-2: if H misses the
+  // relay edge 1-2, d_{H_0}(0,2) becomes 3 > 2.
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(0, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 2);
+  const Graph g = b.build();
+  EdgeSet h(g, true);
+  h.erase(g.find_edge(1, 2));
+  const auto report = check_remote_stretch(g, h, Stretch{1.0, 0.0});
+  EXPECT_FALSE(report.satisfied);
+}
+
+// ---------------------------------------------------------------------------
+// R1: an (alpha, beta)-spanner is an (alpha, beta - alpha + 1)-remote-
+// spanner. Exercised with the trivial spanning-tree spanner of a cycle and
+// randomized spanning structures.
+
+TEST(RelatedWorkR1, SpannerImpliesRemoteSpannerShift) {
+  Rng rng(401);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = connected_gnp(25, 0.2, rng);
+    // Take H = a BFS tree: a classical (D,0)-spanner for D = its depth-based
+    // stretch; measure its actual classical stretch first, then check the
+    // shifted remote bound.
+    EdgeSet h(g);
+    BoundedBfs bfs(g.num_nodes());
+    bfs.run(GraphView(g), 0);
+    for (NodeId v = 1; v < g.num_nodes(); ++v) {
+      if (bfs.parent(v) != kInvalidNode) h.insert(bfs.parent(v), v);
+    }
+    // Find the smallest integer alpha for which H is an (alpha,0)-spanner.
+    double alpha = 1.0;
+    while (!check_spanner_stretch(g, h, Stretch{alpha, 0.0}).satisfied && alpha < 50.0) {
+      alpha += 1.0;
+    }
+    ASSERT_LT(alpha, 50.0);
+    const auto remote = check_remote_stretch(g, h, Stretch{alpha, 0.0 - alpha + 1.0});
+    EXPECT_TRUE(remote.satisfied) << "rep=" << rep << " alpha=" << alpha;
+  }
+}
+
+}  // namespace
+}  // namespace remspan

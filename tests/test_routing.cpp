@@ -1,0 +1,134 @@
+// Greedy link-state routing over remote-spanners: the Section 1 guarantee
+// route_length <= d_{H_s}(s, t).
+#include <gtest/gtest.h>
+
+#include "analysis/stretch_oracle.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "geom/synthetic.hpp"
+#include "graph/connectivity.hpp"
+#include "sim/routing.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(GreedyRouting, TrivialCases) {
+  const Graph g = path_graph(4);
+  const EdgeSet h(g, true);
+  const auto self = greedy_route(h, 2, 2);
+  EXPECT_TRUE(self.delivered);
+  EXPECT_EQ(self.hops(), 0u);
+  const auto adj = greedy_route(h, 0, 1);
+  EXPECT_TRUE(adj.delivered);
+  EXPECT_EQ(adj.hops(), 1u);
+}
+
+TEST(GreedyRouting, FullTopologyGivesShortestPaths) {
+  Rng rng(601);
+  const Graph g = connected_gnp(40, 0.12, rng);
+  const EdgeSet h(g, true);
+  const DistanceMatrix dg = all_pairs_distances(GraphView(g));
+  for (NodeId s = 0; s < g.num_nodes(); s += 5) {
+    for (NodeId t = 1; t < g.num_nodes(); t += 7) {
+      if (s == t) continue;
+      const auto route = greedy_route(h, s, t);
+      ASSERT_TRUE(route.delivered);
+      EXPECT_EQ(route.hops(), dg(s, t));
+    }
+  }
+}
+
+TEST(GreedyRouting, RouteWithinRemoteDistanceBound) {
+  // The core guarantee: hops <= d_{H_s}(s,t) for every pair, for each
+  // remote-spanner flavor.
+  Rng rng(603);
+  const Graph g = connected_gnp(35, 0.15, rng);
+  for (const double eps : {1.0, 0.5}) {
+    const EdgeSet h = build_low_stretch_remote_spanner(g, eps);
+    const DistanceMatrix dhu = remote_distances(g, h);
+    for (NodeId s = 0; s < g.num_nodes(); s += 3) {
+      for (NodeId t = 1; t < g.num_nodes(); t += 4) {
+        if (s == t) continue;
+        const auto route = greedy_route(h, s, t);
+        ASSERT_TRUE(route.delivered) << "s=" << s << " t=" << t;
+        EXPECT_LE(route.hops(), dhu(s, t)) << "s=" << s << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(GreedyRouting, ExactShortestPathsOnOneZeroRemoteSpanner) {
+  // Over a (1,0)-remote-spanner greedy routing is exactly shortest-path
+  // routing — the OLSR property.
+  Rng rng(605);
+  const Graph g = connected_gnp(40, 0.12, rng);
+  const EdgeSet h = build_k_connecting_spanner(g, 1);
+  const DistanceMatrix dg = all_pairs_distances(GraphView(g));
+  for (NodeId s = 0; s < g.num_nodes(); s += 4) {
+    for (NodeId t = 2; t < g.num_nodes(); t += 5) {
+      if (s == t) continue;
+      const auto route = greedy_route(h, s, t);
+      ASSERT_TRUE(route.delivered);
+      EXPECT_EQ(route.hops(), dg(s, t)) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(GreedyRouting, PathEdgesExistInAugmentedGraphs) {
+  Rng rng(607);
+  const Graph g = connected_gnp(30, 0.15, rng);
+  const EdgeSet h = build_low_stretch_remote_spanner(g, 1.0);
+  const auto route = greedy_route(h, 0, g.num_nodes() - 1);
+  ASSERT_TRUE(route.delivered);
+  for (std::size_t i = 1; i < route.path.size(); ++i) {
+    // Every hop is a real G edge (the forwarder's own link).
+    EXPECT_TRUE(g.has_edge(route.path[i - 1], route.path[i]));
+  }
+}
+
+TEST(GreedyRouting, FailsGracefullyOnEmptySpanner) {
+  const Graph g = path_graph(5);
+  const EdgeSet h(g);  // nothing advertised
+  const auto route = greedy_route(h, 0, 4);
+  EXPECT_FALSE(route.delivered);
+  EXPECT_GE(route.path.size(), 1u);
+}
+
+TEST(GreedyRouting, SamplePairsHelper) {
+  Rng rng(609);
+  const Graph g = connected_gnp(30, 0.15, rng);
+  const EdgeSet h = build_k_connecting_spanner(g, 1);
+  std::vector<std::pair<NodeId, NodeId>> pairs{{0, 10}, {5, 20}, {3, 29}};
+  const auto samples = route_sample_pairs(h, pairs);
+  ASSERT_EQ(samples.size(), 3u);
+  for (const auto& s : samples) {
+    EXPECT_NE(s.route_hops, kUnreachable);
+    EXPECT_EQ(s.route_hops, s.shortest);  // (1,0)-remote-spanner: exact
+  }
+}
+
+TEST(GreedyRouting, UbgScenario) {
+  Rng rng(611);
+  const auto gg = uniform_unit_ball_graph(80, 4.0, 2, rng);
+  const auto comps = connected_components(gg.graph);
+  const Graph g = induced_subgraph(gg.graph, comps.largest()).graph;
+  const EdgeSet h = build_low_stretch_remote_spanner(g, 0.5);
+  const DistanceMatrix dg = all_pairs_distances(GraphView(g));
+  std::size_t routed = 0;
+  for (NodeId s = 0; s < g.num_nodes(); s += 7) {
+    for (NodeId t = 3; t < g.num_nodes(); t += 11) {
+      if (s == t) continue;
+      const auto route = greedy_route(h, s, t);
+      ASSERT_TRUE(route.delivered);
+      // (1.5, 0)-ish bound: route <= 1.5 d + 1.
+      EXPECT_LE(static_cast<double>(route.hops()),
+                1.5 * static_cast<double>(dg(s, t)) + 1.0 + 1e-9);
+      ++routed;
+    }
+  }
+  EXPECT_GT(routed, 10u);
+}
+
+}  // namespace
+}  // namespace remspan

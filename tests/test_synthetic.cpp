@@ -1,0 +1,139 @@
+// Structural invariants of the synthetic generators.
+#include <gtest/gtest.h>
+
+#include "geom/synthetic.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/distances.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(Synthetic, PathAndCycle) {
+  const Graph p = path_graph(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  const Graph c = cycle_graph(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (NodeId v = 0; v < 5; ++v) EXPECT_EQ(c.degree(v), 2u);
+}
+
+TEST(Synthetic, GridStructure) {
+  const Graph g = grid_graph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  EXPECT_EQ(g.num_edges(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_TRUE(is_connected(g));
+  // Corner degree 2, middle degree 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(5), 4u);
+}
+
+TEST(Synthetic, HypercubeStructure) {
+  const Graph g = hypercube_graph(4);
+  EXPECT_EQ(g.num_nodes(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);
+  for (NodeId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  const DistanceMatrix dm = all_pairs_distances(GraphView(g));
+  EXPECT_EQ(dm(0, 15), 4u);  // Hamming distance
+}
+
+TEST(Synthetic, CompleteBipartite) {
+  const Graph g = complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_edges(), 12u);
+  EXPECT_FALSE(g.has_edge(0, 1));  // same side
+  EXPECT_TRUE(g.has_edge(0, 3));
+}
+
+TEST(Synthetic, StarGraph) {
+  const Graph g = star_graph(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  EXPECT_EQ(g.max_degree(), 5u);
+}
+
+TEST(Synthetic, RandomTreeIsTree) {
+  Rng rng(31);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = random_tree(40, rng);
+    EXPECT_EQ(g.num_edges(), 39u);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Synthetic, GnpEdgeCountConcentrates) {
+  Rng rng(33);
+  const NodeId n = 200;
+  const double p = 0.05;
+  double total = 0;
+  const int reps = 20;
+  for (int i = 0; i < reps; ++i) total += static_cast<double>(gnp(n, p, rng).num_edges());
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / reps, expected, 0.08 * expected);
+}
+
+TEST(Synthetic, GnpExtremes) {
+  Rng rng(35);
+  EXPECT_EQ(gnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(gnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(Synthetic, GnpProducesValidPairsOnly) {
+  Rng rng(37);
+  const Graph g = gnp(64, 0.1, rng);
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(e.u, e.v);
+    EXPECT_LT(e.v, 64u);
+  }
+}
+
+TEST(Synthetic, ConnectedGnpIsConnected) {
+  Rng rng(39);
+  for (int rep = 0; rep < 5; ++rep) {
+    const Graph g = connected_gnp(60, 0.06, rng);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Synthetic, ThetaGraphShape) {
+  const Graph g = theta_graph(3, 4);
+  EXPECT_EQ(g.num_nodes(), 2u + 3u * 3u);
+  EXPECT_EQ(g.num_edges(), 3u * 4u);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 3u);
+  const DistanceMatrix dm = all_pairs_distances(GraphView(g));
+  EXPECT_EQ(dm(0, 1), 4u);
+}
+
+TEST(Components, SplitGraphFound) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();  // node 5 isolated
+  const Components comps = connected_components(g);
+  EXPECT_EQ(comps.count, 3u);
+  const auto largest = comps.largest();
+  EXPECT_EQ(largest, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Components, InducedSubgraphRemaps) {
+  GraphBuilder b(6);
+  b.add_edge(0, 2);
+  b.add_edge(2, 4);
+  b.add_edge(1, 3);
+  const Graph g = b.build();
+  const auto sub = induced_subgraph(g, {0, 2, 4});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_TRUE(sub.graph.has_edge(0, 1));  // old 0-2
+  EXPECT_TRUE(sub.graph.has_edge(1, 2));  // old 2-4
+  EXPECT_EQ(sub.original_id[1], 2u);
+}
+
+TEST(Connectivity, VertexConnectivityOnThetaGraph) {
+  const Graph g = theta_graph(4, 3);
+  EXPECT_EQ(vertex_connectivity(g, 0, 1), 4u);
+  EXPECT_EQ(vertex_connectivity(g, 0, 1, 2), 2u);  // capped
+}
+
+}  // namespace
+}  // namespace remspan

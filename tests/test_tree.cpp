@@ -1,0 +1,85 @@
+// RootedTree: depth/branch bookkeeping used by the dominating-tree checks.
+#include <gtest/gtest.h>
+
+#include "graph/tree.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(RootedTree, RootOnly) {
+  const RootedTree t(7);
+  EXPECT_EQ(t.root(), 7u);
+  EXPECT_TRUE(t.contains(7));
+  EXPECT_EQ(t.depth(7), 0u);
+  EXPECT_EQ(t.num_nodes(), 1u);
+  EXPECT_EQ(t.num_edges(), 0u);
+  EXPECT_EQ(t.branch(7), kInvalidNode);
+  EXPECT_EQ(t.parent(7), kInvalidNode);
+}
+
+TEST(RootedTree, DepthAndBranchPropagate) {
+  RootedTree t(0);
+  t.add_child(0, 1);
+  t.add_child(0, 2);
+  t.add_child(1, 3);
+  t.add_child(3, 4);
+  EXPECT_EQ(t.depth(1), 1u);
+  EXPECT_EQ(t.depth(4), 3u);
+  EXPECT_EQ(t.branch(1), 1u);
+  EXPECT_EQ(t.branch(3), 1u);
+  EXPECT_EQ(t.branch(4), 1u);
+  EXPECT_EQ(t.branch(2), 2u);
+}
+
+TEST(RootedTree, AbsentNodes) {
+  RootedTree t(0);
+  EXPECT_FALSE(t.contains(5));
+  EXPECT_EQ(t.depth(5), kUnreachable);
+  EXPECT_EQ(t.parent(5), kInvalidNode);
+  EXPECT_EQ(t.branch(5), kInvalidNode);
+}
+
+TEST(RootedTree, ReattachSameParentIsIdempotent) {
+  RootedTree t(0);
+  t.add_child(0, 1);
+  t.add_child(0, 1);
+  EXPECT_EQ(t.num_nodes(), 2u);
+}
+
+TEST(RootedTree, ConflictingParentTrips) {
+  RootedTree t(0);
+  t.add_child(0, 1);
+  t.add_child(0, 2);
+  EXPECT_THROW(t.add_child(2, 1), CheckError);
+}
+
+TEST(RootedTree, MissingParentTrips) {
+  RootedTree t(0);
+  EXPECT_THROW(t.add_child(9, 1), CheckError);
+}
+
+TEST(RootedTree, EdgesAreParentLinks) {
+  RootedTree t(5);
+  t.add_child(5, 2);
+  t.add_child(2, 8);
+  const auto edges = t.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], make_edge(5, 2));
+  EXPECT_EQ(edges[1], make_edge(2, 8));
+}
+
+TEST(RootedTree, NodesInInsertionOrder) {
+  RootedTree t(3);
+  t.add_child(3, 1);
+  t.add_child(3, 9);
+  t.add_child(1, 0);
+  const auto& nodes = t.nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0], 3u);
+  EXPECT_EQ(nodes[1], 1u);
+  EXPECT_EQ(nodes[2], 9u);
+  EXPECT_EQ(nodes[3], 0u);
+}
+
+}  // namespace
+}  // namespace remspan

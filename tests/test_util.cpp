@@ -1,0 +1,239 @@
+// util/: rng determinism and distributions, bitset, fitting, options,
+// tables, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bitset.hpp"
+#include "util/fit.hpp"
+#include "util/options.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace remspan {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b());
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformBoundRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(10), 10u);
+  }
+  EXPECT_EQ(rng.uniform(1), 0u);
+  EXPECT_EQ(rng.uniform(0), 0u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(3);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform(8)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, draws / 8, draws / 80);  // within 10% of expectation
+  }
+}
+
+TEST(Rng, UniformRealInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_real(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(13);
+  for (const double mean : {0.5, 4.0, 60.0, 900.0}) {
+    double sum = 0;
+    const int reps = 3000;
+    for (int i = 0; i < reps; ++i) sum += static_cast<double>(rng.poisson(mean));
+    const double observed = sum / reps;
+    EXPECT_NEAR(observed, mean, 5.0 * std::sqrt(mean / reps) + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(17);
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  const std::set<std::uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleAllWhenRequestExceedsPopulation) {
+  Rng rng(19);
+  const auto sample = rng.sample_without_replacement(5, 50);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(DynamicBitset, SetTestReset) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.count(), 0u);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  EXPECT_TRUE(bits.test(64));
+  EXPECT_FALSE(bits.test(63));
+  EXPECT_EQ(bits.count(), 3u);
+  bits.reset(64);
+  EXPECT_EQ(bits.count(), 2u);
+}
+
+TEST(DynamicBitset, ForEachSetAscending) {
+  DynamicBitset bits(200);
+  const std::vector<std::size_t> want{3, 64, 65, 127, 199};
+  for (const auto i : want) bits.set(i);
+  std::vector<std::size_t> got;
+  bits.for_each_set([&](std::size_t i) { got.push_back(i); });
+  EXPECT_EQ(got, want);
+}
+
+TEST(DynamicBitset, UnionAndIntersection) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.set(1);
+  a.set(69);
+  b.set(2);
+  b.set(69);
+  DynamicBitset u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+  DynamicBitset i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.test(69));
+}
+
+TEST(DynamicBitset, SetAllRespectsSize) {
+  DynamicBitset bits(67);
+  bits.set_all();
+  EXPECT_EQ(bits.count(), 67u);
+}
+
+TEST(Fit, ExactLine) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  const std::vector<double> ys{3, 5, 7, 9};  // y = 2x + 1
+  const auto fit = fit_linear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(Fit, PowerLawExponentRecovered) {
+  std::vector<double> xs, ys;
+  for (double x = 100; x <= 3000; x *= 1.5) {
+    xs.push_back(x);
+    ys.push_back(3.7 * std::pow(x, 4.0 / 3.0));
+  }
+  const auto fit = fit_power_law(xs, ys);
+  EXPECT_NEAR(fit.slope, 4.0 / 3.0, 1e-9);
+}
+
+TEST(Fit, Statistics) {
+  const std::vector<double> xs{1, 2, 3, 4, 100};
+  EXPECT_DOUBLE_EQ(mean(xs), 22.0);
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4, 100}), 3.0);
+  EXPECT_DOUBLE_EQ(median({1, 2, 3, 4}), 2.5);
+  const std::vector<double> ss{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(ss), 2.138, 1e-3);
+}
+
+TEST(Options, ParsesSpaceAndEqualsForms) {
+  Options opts({"--n", "100", "--eps=0.5", "--verbose"});
+  EXPECT_EQ(opts.get_int("n", 1), 100);
+  EXPECT_DOUBLE_EQ(opts.get_double("eps", 1.0), 0.5);
+  EXPECT_TRUE(opts.get_flag("verbose"));
+  EXPECT_EQ(opts.get_int("missing", 7), 7);
+}
+
+TEST(Options, HelpAndUnknown) {
+  Options opts({"--help", "--typo", "1"});
+  EXPECT_TRUE(opts.help_requested());
+  (void)opts.get_int("n", 5);
+  const auto unknown = opts.unknown_options();
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(Table, AlignedOutputAndCsv) {
+  Table t({"name", "value"});
+  t.add("alpha", 1.5);
+  t.add("n", std::size_t{42});
+  EXPECT_EQ(t.num_rows(), 2u);
+  std::ostringstream out;
+  t.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("1.500"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,value"), std::string::npos);
+  EXPECT_NE(csv.find("n,42"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WorkerIdsWithinBounds) {
+  ThreadPool pool(2);
+  std::atomic<bool> ok{true};
+  pool.parallel_for_workers(0, 500, [&](std::size_t, std::size_t worker) {
+    if (worker > pool.size()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, EmptyRangeNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+}  // namespace
+}  // namespace remspan
