@@ -65,6 +65,10 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Report report("approx_ratio");
+  report.param("n", n);
+  report.param("reps", reps);
+
   banner("Table E10 — greedy dominating trees vs exact optimum",
          "paper: DomTreeGdy within 1+log Delta of optimal (Prop. 6; Prop. 2 for r>2)");
 
@@ -94,6 +98,10 @@ int main(int argc, char** argv) {
                    std::to_string(exact_matches), format_double(max_ratio, 3),
                    format_double(roots ? sum_ratio / static_cast<double>(roots) : 1.0, 3),
                    format_double(ceiling, 3)});
+    const std::string key = "k" + std::to_string(k);
+    report.value("roots_" + key, roots);
+    report.value("max_ratio_" + key, max_ratio);
+    report.value("ceiling_" + key, ceiling);
   }
   table.print(std::cout);
   std::cout << "\nEvery 'max ratio' must sit below the 1+ln(Delta) ceiling; in practice\n"
@@ -126,7 +134,10 @@ int main(int argc, char** argv) {
         {std::to_string(k), std::to_string(spanner_edges), format_double(lb, 1),
          format_double(static_cast<double>(spanner_edges) / lb, 3),
          format_double(2.0 * (1.0 + std::log(static_cast<double>(g.max_degree()))), 3)});
+    report.value("spanner_ratio_k" + std::to_string(k),
+                 static_cast<double>(spanner_edges) / lb);
   }
   spanner_table.print(std::cout);
+  report.finish();
   return 0;
 }

@@ -1,7 +1,8 @@
 // Shared workload preparation for the bench binaries. Every bench prints
 // the paper artifact it reproduces, the workload parameters, and a table of
 // measured values next to the paper's asymptotic claim (EXPERIMENTS.md is
-// compiled from these outputs).
+// compiled from these outputs) — and, through Report below, writes the same
+// numbers machine-readably to BENCH_<name>.json for trajectory tracking.
 #pragma once
 
 #include <iostream>
@@ -9,21 +10,13 @@
 
 #include "geom/ball_graph.hpp"
 #include "graph/connectivity.hpp"
+#include "util/json_report.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace remspan::bench {
-
-/// Largest connected component of g (random geometric graphs are usually
-/// connected at the densities used, but stragglers would distort per-node
-/// averages).
-inline Graph largest_component(const Graph& g) {
-  const auto comps = connected_components(g);
-  if (comps.count <= 1) return g;
-  return induced_subgraph(g, comps.largest()).graph;
-}
 
 /// The paper's random UDG model: Poisson(mean_nodes) points in a fixed
 /// [0, side]^2 square, unit disks; largest component.
@@ -38,16 +31,7 @@ inline Graph paper_udg(double side, double mean_nodes, std::uint64_t seed) {
 inline GeometricGraph paper_ubg(std::size_t n, double side, std::size_t dim,
                                 std::uint64_t seed) {
   Rng rng(seed);
-  auto gg = uniform_unit_ball_graph(n, side, dim, rng);
-  const auto comps = connected_components(gg.graph);
-  if (comps.count > 1) {
-    auto sub = induced_subgraph(gg.graph, comps.largest());
-    PointSet pts(gg.points.dim());
-    for (const NodeId old : sub.original_id) pts.add(gg.points.point(old));
-    gg.graph = std::move(sub.graph);
-    gg.points = std::move(pts);
-  }
-  return gg;
+  return largest_component(uniform_unit_ball_graph(n, side, dim, rng));
 }
 
 inline void banner(const std::string& title, const std::string& claim) {
@@ -55,5 +39,35 @@ inline void banner(const std::string& title, const std::string& claim) {
             << title << "\n" << claim << "\n"
             << "==================================================================\n";
 }
+
+/// Per-binary JSON report: construct it first thing in main(), record the
+/// workload params and headline measured values alongside the human table,
+/// and call finish() last — it stamps the total wall time and writes
+/// BENCH_<name>.json into the working directory.
+class Report {
+ public:
+  explicit Report(std::string name) : report_(std::move(name)) {}
+
+  void seed(std::uint64_t s) { report_.set_seed(s); }
+  void param(const std::string& key, JsonScalar v) { report_.param(key, std::move(v)); }
+  void value(const std::string& key, JsonScalar v) { report_.value(key, std::move(v)); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  void param(const std::string& key, T v) { report_.param(key, v); }
+  template <typename T>
+    requires std::is_integral_v<T>
+  void value(const std::string& key, T v) { report_.value(key, v); }
+
+  void finish() {
+    report_.set_wall_seconds(timer_.seconds());
+    const std::string file = report_.default_filename();
+    report_.write_file(file);
+    std::cout << "\nreport: " << file << "\n";
+  }
+
+ private:
+  BenchReport report_;
+  Timer timer_;
+};
 
 }  // namespace remspan::bench

@@ -27,6 +27,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Report report("edge_connectivity");
+  report.param("n", n);
+  report.param("pairs", pairs);
+  report.param("reps", reps);
+
   banner("Table E14 — edge-connectivity extension (paper's concluding remark)",
          "conjecture: Th.2's construction is also k-EDGE-connecting (1,0); tested empirically");
 
@@ -72,6 +77,9 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nplain (coverage k) violations: " << violations_plain
             << " | boosted (coverage k+1) violations: " << violations_boosted << "\n";
+  report.value("violations_plain", violations_plain);
+  report.value("violations_boosted", violations_boosted);
+  report.finish();
   if (violations_plain > 0) {
     std::cout << "finding: the node-disjoint construction does NOT transfer to\n"
                  "edge-connectivity unchanged — edge-disjoint paths may share nodes,\n"

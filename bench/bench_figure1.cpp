@@ -13,6 +13,7 @@ using namespace remspan;
 using namespace remspan::bench;
 
 int main() {
+  Report report("figure1");
   banner("Figure 1 — the paper's worked example (analogue coordinates)",
          "paper: (b) sparse (1,0)-rem-span; (c) (2,-1)-rem-span; (d) 2-connecting variant");
 
@@ -57,5 +58,14 @@ int main() {
   const bool all = b_ok && b_sparse && c_ok && d_ok && d_two_paths;
   std::cout << (all ? "\nall Figure 1 properties reproduced\n"
                     : "\nFIGURE 1 REPRODUCTION FAILED\n");
+
+  report.param("n", g.num_nodes());
+  report.value("input_edges", g.num_edges());
+  report.value("edges_1b", hb.size());
+  report.value("edges_1c", hc.size());
+  report.value("edges_1d", hd.size());
+  report.value("uv_disjoint_paths", static_cast<std::int64_t>(uv.connectivity()));
+  report.value("all_properties_hold", static_cast<std::int64_t>(all));
+  report.finish();
   return all ? EXIT_SUCCESS : EXIT_FAILURE;
 }

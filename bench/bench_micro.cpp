@@ -1,6 +1,15 @@
 // E12 — microbenchmarks (google-benchmark): throughput of the primitives
-// behind every experiment, for performance-regression tracking.
+// behind every experiment, for performance-regression tracking. A custom
+// main mirrors every measurement into BENCH_micro.json (seconds per
+// iteration, keyed by benchmark name) so the regression trajectory is
+// machine-readable like the table benches.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "util/json_report.hpp"
+#include "util/timer.hpp"
 
 #include "baseline/mpr.hpp"
 #include "core/dominating_tree.hpp"
@@ -19,8 +28,7 @@ const Graph& shared_udg() {
   static const Graph g = [] {
     Rng rng(77);
     const auto gg = random_unit_disk_graph(7.0, 500, rng);
-    const auto comps = connected_components(gg.graph);
-    return induced_subgraph(gg.graph, comps.largest()).graph;
+    return largest_component(gg.graph);
   }();
   return g;
 }
@@ -125,7 +133,43 @@ void BM_DisjointPathsOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_DisjointPathsOracle)->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus seconds-per-iteration collected for the
+/// JSON report (benchmark names like "BM_DomTreeMis/3" become keys with the
+/// '/' flattened to '_').
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.iterations == 0) continue;
+      std::string key = run.benchmark_name();
+      std::replace(key.begin(), key.end(), '/', '_');
+      seconds_per_iteration.emplace_back(
+          key, run.real_accumulated_time / static_cast<double>(run.iterations));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<std::pair<std::string, double>> seconds_per_iteration;
+};
+
 }  // namespace
 }  // namespace remspan
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  remspan::Timer timer;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  remspan::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  remspan::BenchReport report("micro");
+  report.param("workload", std::string("shared UDG side=7 mean_n=500 seed=77"));
+  for (const auto& [key, seconds] : reporter.seconds_per_iteration) {
+    report.value(key, seconds);
+  }
+  report.set_wall_seconds(timer.seconds());
+  report.write_file(report.default_filename());
+  std::cout << "\nreport: " << report.default_filename() << "\n";
+  return 0;
+}

@@ -15,6 +15,8 @@
 //
 // These are explorations, not theorems: results are recorded as empirical
 // status in EXPERIMENTS.md.
+#include <algorithm>
+
 #include "analysis/kconn_oracle.hpp"
 #include "bench_common.hpp"
 #include "core/remote_spanner.hpp"
@@ -49,6 +51,12 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+
+  Report report("open_problems");
+  report.param("n", n);
+  report.param("pairs", pairs);
+  report.param("reps", reps);
+  report.param("eps", eps);
 
   banner("Table E15 — the paper's open problems, explored empirically",
          "(A) does Prop. 4 generalize to k > 2?  (B) sparse k-connecting (1+eps, O(1))?");
@@ -90,6 +98,8 @@ int main(int argc, char** argv) {
                "    vs the exact k-connecting (1,0) spanner of Th.2:\n";
   Table b_table({"family", "k", "candidate edges", "Th.2 edges", "size ratio",
                  "smallest c", "input m"});
+  int worst_c = -1;
+  double worst_size_ratio = 0.0;
   for (const Dist k : {2u, 3u}) {
     for (int rep = 0; rep < reps; ++rep) {
       const auto seed = static_cast<std::uint64_t>(5000 + 100 * k + rep);
@@ -99,6 +109,9 @@ int main(int argc, char** argv) {
       candidate |= build_2connecting_spanner(g, k);
       const EdgeSet exact = build_k_connecting_spanner(g, k);
       const int c = smallest_additive(g, candidate, k, 1.0 + eps, pairs, seed);
+      worst_c = std::max(worst_c, c);
+      worst_size_ratio = std::max(worst_size_ratio, static_cast<double>(candidate.size()) /
+                                                        static_cast<double>(exact.size()));
       b_table.add_row(
           {"UDG rep" + std::to_string(rep), std::to_string(k),
            std::to_string(candidate.size()), std::to_string(exact.size()),
@@ -112,5 +125,9 @@ int main(int argc, char** argv) {
   std::cout << "\nA small constant c with size ratio < 1 would answer the followup\n"
                "affirmatively on these instances; ratio >= 1 means the candidate is\n"
                "not yet sparser than exactness — the problem stays open.\n";
+  report.value("a_violations", a_violations);
+  report.value("b_worst_additive_c", static_cast<std::int64_t>(worst_c));
+  report.value("b_worst_size_ratio", worst_size_ratio);
+  report.finish();
   return 0;
 }

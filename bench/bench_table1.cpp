@@ -37,6 +37,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Report json("table1");
+  json.seed(seed);
+  json.param("n_any", n_any);
+  json.param("n_udg", mean_udg);
+  json.param("n_ubg", n_ubg);
+  json.param("k", k);
+  json.param("eps", eps);
+
   banner("Table 1 — remote spanners vs regular spanners",
          "paper: per-row size bounds; measured: edges + verified stretch");
 
@@ -136,5 +144,18 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\nNote: 'Comp. time' of the paper is round complexity; see bench_rounds\n"
                "for the O(1) / O(eps^-1) round measurements on the simulator.\n";
+
+  json.value("edges_baswana_sen", bs.size());
+  json.value("edges_kconn", kconn.size());
+  json.value("edges_udg_th2", udg_h.size());
+  json.value("edges_known_dist", known.size());
+  json.value("edges_th1", th1.size());
+  json.value("edges_fault_tolerant", ft.size());
+  json.value("edges_th3", th3.size());
+  json.value("seconds_kconn", t_kconn);
+  json.value("seconds_udg_th2", t_udg);
+  json.value("seconds_th1", t_th1);
+  json.value("seconds_th3", t_th3);
+  json.finish();
   return 0;
 }

@@ -23,6 +23,11 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  Report report("udg_scaling");
+  report.param("side", side);
+  report.param("seeds", seeds);
+  report.param("n_max", n_max);
+
   banner("Figure E3 — edge scaling on random UDG (fixed square, Poisson nodes)",
          "paper: (1,0)-remote-spanner O(n^{4/3} log n) vs full graph Omega(n^2)  [Th.2, §3.2]");
 
@@ -65,5 +70,15 @@ int main(int argc, char** argv) {
             << "  k=2 / k=1 size ratio at n-max: "
             << format_double(h2_edges.back() / h1_edges.back(), 3)
             << "  (paper: ~2^{2/3} = 1.587)\n";
+
+  report.value("exponent_full", fit_full.slope);
+  report.value("exponent_h1", fit_h1.slope);
+  report.value("exponent_h2", fit_h2.slope);
+  report.value("nodes_at_n_max", ns.back());
+  report.value("full_edges_at_n_max", full_edges.back());
+  report.value("h1_edges_at_n_max", h1_edges.back());
+  report.value("h2_edges_at_n_max", h2_edges.back());
+  report.value("k2_over_k1_ratio", h2_edges.back() / h1_edges.back());
+  report.finish();
   return 0;
 }

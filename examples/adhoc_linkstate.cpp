@@ -32,8 +32,7 @@ int main(int argc, char** argv) {
 
   Rng rng(seed);
   const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
-  const auto comps = connected_components(gg.graph);
-  const Graph g = induced_subgraph(gg.graph, comps.largest()).graph;
+  const Graph g = largest_component(gg.graph);
   std::cout << "ad-hoc network: n=" << g.num_nodes() << " links=" << g.num_edges()
             << " avg_degree=" << format_double(g.average_degree(), 1) << "\n\n";
 

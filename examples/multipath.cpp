@@ -41,8 +41,7 @@ int main(int argc, char** argv) {
 
   Rng rng(seed);
   const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
-  const auto comps = connected_components(gg.graph);
-  const Graph g = induced_subgraph(gg.graph, comps.largest()).graph;
+  const Graph g = largest_component(gg.graph);
   const EdgeSet h2 = build_2connecting_spanner(g, 2);
   const EdgeSet h1 = build_k_connecting_spanner(g, 1);
   std::cout << "network n=" << g.num_nodes() << " m=" << g.num_edges()

@@ -30,8 +30,7 @@ int main(int argc, char** argv) {
   // 1. A unit disk graph: the paper's ad-hoc network model.
   Rng rng(seed);
   const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
-  const auto comps = connected_components(gg.graph);
-  const Graph g = induced_subgraph(gg.graph, comps.largest()).graph;
+  const Graph g = largest_component(gg.graph);
   std::cout << "network: n=" << g.num_nodes() << " edges=" << g.num_edges()
             << " avg_degree=" << format_double(g.average_degree(), 1) << "\n\n";
 

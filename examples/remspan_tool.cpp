@@ -45,8 +45,7 @@ Graph load_or_generate(Options& opts, Rng& rng) {
   if (gen == "udg") {
     const double side = opts.get_double("side", 6.0);
     const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
-    const auto comps = connected_components(gg.graph);
-    return induced_subgraph(gg.graph, comps.largest()).graph;
+    return largest_component(gg.graph);
   }
   if (gen == "gnp") {
     const double deg = opts.get_double("deg", 10.0);

@@ -14,8 +14,8 @@ struct SpannerStats {
   std::size_t input_edges = 0;
   std::size_t spanner_edges = 0;
   double edge_fraction = 0.0;    // spanner / input
-  double avg_degree = 0.0;       // in the spanner
-  Dist max_degree = 0;           // in the spanner
+  double avg_degree = 0.0;         // in the spanner
+  std::size_t max_degree = 0;      // in the spanner
   double edges_per_node = 0.0;   // spanner_edges / n, the Theorem 1/3 figure
 };
 

@@ -28,7 +28,7 @@ void DomTreeBuilder::add_parent_chain(RootedTree& tree, NodeId x) {
   }
   while (len > 0) {
     const NodeId child = chain[--len];
-    tree.add_child(x, child);
+    tree.add_child(x, child, bfs_.parent_edge(child));
     x = child;
   }
 }
@@ -166,7 +166,7 @@ RootedTree DomTreeBuilder::greedy_k(NodeId u, Dist k) {
     }
     REMSPAN_CHECK(best != kInvalidNode && best_cover > 0);
     in_x_[best] = 1;
-    tree.add_child(u, best);
+    tree.add_child(u, best, bfs_.parent_edge(best));
     for (const NodeId y : g_->neighbors(best)) {
       if (in_s_[y] == 0) continue;
       ++cov_[y];
@@ -211,7 +211,12 @@ RootedTree DomTreeBuilder::mis_k(NodeId u, Dist k) {
   // when it is a neighbor of u, consumes one "available common neighbor"
   // from each adjacent shell node.
   auto attach = [&](NodeId parent, NodeId node) {
-    tree.add_child(parent, node);
+    // The BFS discovered node through some distance-1 predecessor; when it is
+    // not the requested parent (mis_k attaches x under its fresh common
+    // neighbor ys[0]), fall back to one adjacency lookup.
+    const EdgeId pe = bfs_.parent(node) == parent ? bfs_.parent_edge(node)
+                                                  : g_->find_edge(parent, node);
+    tree.add_child(parent, node, pe);
     const NodeId branch = tree.branch(node);
     const bool depth_one = tree.depth(node) == 1;
     for (const NodeId w : g_->neighbors(node)) {

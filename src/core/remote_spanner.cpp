@@ -34,7 +34,9 @@ EdgeSet union_of_trees(const Graph& g,
     std::size_t edges = 0;
     for (const NodeId v : tree.nodes()) {
       if (v == tree.root()) continue;
-      const EdgeId id = g.find_edge(tree.parent(v), v);
+      // The builders record each node's parent edge id at attach time, so the
+      // union needs no adjacency search per tree edge.
+      const EdgeId id = tree.parent_edge(v);
       REMSPAN_CHECK(id != kInvalidEdge);
       acc.insert(id);
       ++edges;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "graph/connectivity.hpp"
+
 namespace remspan {
 
 namespace {
@@ -89,6 +91,17 @@ GeometricGraph random_unit_disk_graph(double side, double mean_nodes, Rng& rng) 
 GeometricGraph uniform_unit_ball_graph(std::size_t n, double side, std::size_t dim, Rng& rng,
                                        MetricKind metric) {
   return unit_ball_graph(uniform_points(n, side, dim, rng), metric, 1.0);
+}
+
+GeometricGraph largest_component(GeometricGraph gg) {
+  const auto comps = connected_components(gg.graph);
+  if (comps.count <= 1) return gg;
+  auto sub = induced_subgraph(gg.graph, comps.largest());
+  PointSet pts(gg.points.dim());
+  for (const NodeId old : sub.original_id) pts.add(gg.points.point(old));
+  gg.graph = std::move(sub.graph);
+  gg.points = std::move(pts);
+  return gg;
 }
 
 }  // namespace remspan

@@ -34,4 +34,9 @@ struct GeometricGraph {
 [[nodiscard]] GeometricGraph uniform_unit_ball_graph(std::size_t n, double side, std::size_t dim,
                                                      Rng& rng, MetricKind metric = MetricKind::L2);
 
+/// Geometry-preserving overload of largest_component (graph/connectivity.hpp):
+/// restricts graph AND coordinates to the largest connected component so the
+/// weighted baselines keep matching point data.
+[[nodiscard]] GeometricGraph largest_component(GeometricGraph gg);
+
 }  // namespace remspan

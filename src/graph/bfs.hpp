@@ -15,7 +15,7 @@ namespace remspan {
 class BoundedBfs {
  public:
   explicit BoundedBfs(std::size_t n)
-      : dist_(n, kUnreachable), parent_(n, kInvalidNode) {}
+      : dist_(n, kUnreachable), parent_(n, kInvalidNode), parent_edge_(n, kInvalidEdge) {}
 
   /// Runs BFS from src, exploring nodes at distance <= max_depth. Returns the
   /// visit order (src first, non-decreasing distance). Results stay valid
@@ -32,13 +32,24 @@ class BoundedBfs {
       const NodeId u = order_[head];
       const Dist du = dist_[u];
       if (du >= max_depth) continue;
-      view.for_each_neighbor(u, [&](NodeId v) {
-        if (dist_[v] == kUnreachable) {
-          dist_[v] = du + 1;
-          parent_[v] = u;
-          order_.push_back(v);
-        }
-      });
+      if constexpr (EdgeNeighborView<View>) {
+        view.for_each_neighbor_edge(u, [&](NodeId v, EdgeId id) {
+          if (dist_[v] == kUnreachable) {
+            dist_[v] = du + 1;
+            parent_[v] = u;
+            parent_edge_[v] = id;
+            order_.push_back(v);
+          }
+        });
+      } else {
+        view.for_each_neighbor(u, [&](NodeId v) {
+          if (dist_[v] == kUnreachable) {
+            dist_[v] = du + 1;
+            parent_[v] = u;
+            order_.push_back(v);
+          }
+        });
+      }
     }
     return order_;
   }
@@ -52,6 +63,11 @@ class BoundedBfs {
   /// to x in G" while keeping the union a tree (DESIGN.md §4).
   [[nodiscard]] NodeId parent(NodeId v) const noexcept { return parent_[v]; }
 
+  /// Id of the edge {parent(v), v} in the underlying Graph, recorded when the
+  /// last run() used an EdgeNeighborView (kInvalidEdge for the source,
+  /// unreached nodes, and runs over edge-less views).
+  [[nodiscard]] EdgeId parent_edge(NodeId v) const noexcept { return parent_edge_[v]; }
+
   [[nodiscard]] const std::vector<NodeId>& order() const noexcept { return order_; }
 
  private:
@@ -59,12 +75,14 @@ class BoundedBfs {
     for (const NodeId v : order_) {
       dist_[v] = kUnreachable;
       parent_[v] = kInvalidNode;
+      parent_edge_[v] = kInvalidEdge;
     }
     order_.clear();
   }
 
   std::vector<Dist> dist_;
   std::vector<NodeId> parent_;
+  std::vector<EdgeId> parent_edge_;
   std::vector<NodeId> order_;
 };
 

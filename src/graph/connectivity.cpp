@@ -48,6 +48,12 @@ bool is_connected(const Graph& g) {
   return g.num_nodes() <= 1 || connected_components(g).count == 1;
 }
 
+Graph largest_component(const Graph& g) {
+  const auto comps = connected_components(g);
+  if (comps.count <= 1) return g;
+  return induced_subgraph(g, comps.largest()).graph;
+}
+
 InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& keep) {
   std::unordered_map<NodeId, NodeId> remap;
   remap.reserve(keep.size());

@@ -40,6 +40,13 @@ struct InducedSubgraph {
 };
 [[nodiscard]] InducedSubgraph induced_subgraph(const Graph& g, const std::vector<NodeId>& keep);
 
+/// Largest connected component of g with node ids remapped (g itself when
+/// already connected). The standard workload normalization: random geometric
+/// graphs are usually connected at the densities the paper uses, but
+/// stragglers would distort per-node averages. The geometry-preserving
+/// overload lives in geom/ball_graph.hpp.
+[[nodiscard]] Graph largest_component(const Graph& g);
+
 /// Maximum number of internally node-disjoint s-t paths, capped at `cap`
 /// (cap = 0 means uncapped). For adjacent s,t the edge st itself counts as
 /// one path, matching the paper's path-counting convention.

@@ -49,9 +49,10 @@ class EdgeSet {
     return graph_ == other.graph_ && bits_ == other.bits_;
   }
 
-  /// Degree of u counting only selected edges.
-  [[nodiscard]] Dist degree_in(NodeId u) const {
-    Dist d = 0;
+  /// Degree of u counting only selected edges. A count, not a distance:
+  /// returned as std::size_t so dense graphs cannot narrow it.
+  [[nodiscard]] std::size_t degree_in(NodeId u) const {
+    std::size_t d = 0;
     for (const EdgeId id : graph_->incident_edges(u)) {
       if (bits_.test(id)) ++d;
     }

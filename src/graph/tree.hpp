@@ -18,7 +18,7 @@ class RootedTree {
  public:
   explicit RootedTree(NodeId root) : root_(root) {
     nodes_.push_back(root);
-    info_.emplace(root, Info{kInvalidNode, 0, kInvalidNode});
+    info_.emplace(root, Info{kInvalidNode, 0, kInvalidNode, kInvalidEdge});
   }
 
   [[nodiscard]] NodeId root() const noexcept { return root_; }
@@ -37,6 +37,15 @@ class RootedTree {
     return it == info_.end() ? kInvalidNode : it->second.parent;
   }
 
+  /// Graph edge id of {parent(v), v} as recorded at add_child time
+  /// (kInvalidEdge for the root, absent nodes, and graph-less trees). Lets
+  /// union_of_trees insert tree edges into an EdgeSet with no adjacency
+  /// search.
+  [[nodiscard]] EdgeId parent_edge(NodeId v) const {
+    const auto it = info_.find(v);
+    return it == info_.end() ? kInvalidEdge : it->second.parent_edge;
+  }
+
   /// The child of the root on the path root -> v; kInvalidNode for the root
   /// itself or absent nodes. Two members have internally disjoint root paths
   /// iff their branches differ.
@@ -47,8 +56,10 @@ class RootedTree {
 
   /// Attaches v as a child of p (p must already be in the tree). If v is
   /// already present it must have the same parent; conflicting attachments
-  /// indicate an algorithmic bug and trip a check.
-  void add_child(NodeId p, NodeId v) {
+  /// indicate an algorithmic bug and trip a check. `edge` is the id of
+  /// {p, v} in the underlying Graph when the caller knows it (the BFS that
+  /// discovered v records it); kInvalidEdge for trees built without a graph.
+  void add_child(NodeId p, NodeId v, EdgeId edge = kInvalidEdge) {
     const auto pit = info_.find(p);
     REMSPAN_CHECK(pit != info_.end());
     const auto vit = info_.find(v);
@@ -60,6 +71,7 @@ class RootedTree {
     info.parent = p;
     info.depth = pit->second.depth + 1;
     info.branch = (p == root_) ? v : pit->second.branch;
+    info.parent_edge = edge;
     info_.emplace(v, info);
     nodes_.push_back(v);
   }
@@ -83,6 +95,7 @@ class RootedTree {
     NodeId parent;
     Dist depth;
     NodeId branch;
+    EdgeId parent_edge;
   };
 
   NodeId root_;

@@ -21,6 +21,16 @@ concept NeighborView = requires(const V& view, NodeId u) {
   view.for_each_neighbor(u, [](NodeId) {});
 };
 
+/// A NeighborView whose edges carry the underlying Graph's edge ids:
+/// view.for_each_neighbor_edge(u, fn(v, edge_id)). BFS records the parent
+/// edge id of every reached node over such views, which is what lets the
+/// dominating-tree builders hand whole tree edges (not just endpoints) to
+/// the spanner union without any adjacency search.
+template <typename V>
+concept EdgeNeighborView = NeighborView<V> && requires(const V& view, NodeId u) {
+  view.for_each_neighbor_edge(u, [](NodeId, EdgeId) {});
+};
+
 /// The full input graph G.
 class GraphView {
  public:
@@ -31,6 +41,13 @@ class GraphView {
   template <typename Fn>
   void for_each_neighbor(NodeId u, Fn&& fn) const {
     for (const NodeId v : g_->neighbors(u)) fn(v);
+  }
+
+  template <typename Fn>
+  void for_each_neighbor_edge(NodeId u, Fn&& fn) const {
+    const auto nbrs = g_->neighbors(u);
+    const auto ids = g_->incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) fn(nbrs[i], ids[i]);
   }
 
  private:
@@ -47,6 +64,16 @@ class SubgraphView {
   template <typename Fn>
   void for_each_neighbor(NodeId u, Fn&& fn) const {
     h_->for_each_neighbor(u, fn);
+  }
+
+  template <typename Fn>
+  void for_each_neighbor_edge(NodeId u, Fn&& fn) const {
+    const Graph& g = h_->graph();
+    const auto nbrs = g.neighbors(u);
+    const auto ids = g.incident_edges(u);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (h_->contains(ids[i])) fn(nbrs[i], ids[i]);
+    }
   }
 
  private:

@@ -1,0 +1,278 @@
+#include "util/json_report.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string double_to_string(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  std::string s = os.str();
+  // Keep doubles recognizably non-integral so the parser restores the type.
+  if (s.find_first_of(".eEnN") == std::string::npos) s += ".0";
+  return s;
+}
+
+void upsert(std::vector<std::pair<std::string, JsonScalar>>& entries, const std::string& key,
+            JsonScalar value) {
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries.emplace_back(key, std::move(value));
+}
+
+void append_object(std::string& out, const std::vector<std::pair<std::string, JsonScalar>>& kv) {
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : kv) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, key);
+    out += ": ";
+    out += json_scalar_to_string(value);
+  }
+  out += '}';
+}
+
+/// Minimal recursive-descent parser for the report subset of JSON: one
+/// top-level object with scalar members and flat object members.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  BenchReport parse() {
+    // Members accumulate into locals so key order does not matter (a
+    // hand-edited report with "bench" in the middle still parses whole).
+    expect('{');
+    std::string name;
+    std::uint64_t seed = 0;
+    double wall_seconds = 0.0;
+    std::vector<std::pair<std::string, JsonScalar>> params, values;
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        break;
+      }
+      if (!first) expect(',');
+      first = false;
+      const std::string key = parse_string();
+      expect(':');
+      skip_ws();
+      if (key == "bench") {
+        name = parse_string();
+      } else if (key == "seed") {
+        seed = parse_uint64();  // seeds use the full uint64 range
+      } else if (key == "wall_seconds") {
+        const JsonScalar s = parse_scalar();
+        wall_seconds = std::holds_alternative<double>(s)
+                           ? std::get<double>(s)
+                           : static_cast<double>(std::get<std::int64_t>(s));
+      } else if (key == "params") {
+        parse_object([&](const std::string& k, JsonScalar v) {
+          params.emplace_back(k, std::move(v));
+        });
+      } else if (key == "values") {
+        parse_object([&](const std::string& k, JsonScalar v) {
+          values.emplace_back(k, std::move(v));
+        });
+      } else {
+        detail::check_failed(("unknown report key: " + key).c_str(),
+                             std::source_location::current());
+      }
+    }
+    skip_ws();
+    REMSPAN_CHECK(pos_ == text_.size());
+    BenchReport report(name);
+    report.set_seed(seed);
+    report.set_wall_seconds(wall_seconds);
+    for (auto& [k, v] : params) report.param(k, std::move(v));
+    for (auto& [k, v] : values) report.value(k, std::move(v));
+    return report;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  [[nodiscard]] char peek() {
+    REMSPAN_CHECK(pos_ < text_.size());
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    skip_ws();
+    REMSPAN_CHECK(peek() == c);
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      REMSPAN_CHECK(pos_ < text_.size());
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      REMSPAN_CHECK(pos_ < text_.size());
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u': {
+          REMSPAN_CHECK(pos_ + 4 <= text_.size());
+          unsigned code = 0;
+          const auto res =
+              std::from_chars(text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          REMSPAN_CHECK(res.ec == std::errc{} && res.ptr == text_.data() + pos_ + 4);
+          REMSPAN_CHECK(code < 0x80);  // the writer only \u-escapes control chars
+          out += static_cast<char>(code);
+          pos_ += 4;
+          break;
+        }
+        default:
+          detail::check_failed("unsupported escape in report string",
+                               std::source_location::current());
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t parse_uint64() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    std::uint64_t out = 0;
+    const auto res = std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    REMSPAN_CHECK(pos_ > start && res.ec == std::errc{} && res.ptr == text_.data() + pos_);
+    return out;
+  }
+
+  JsonScalar parse_scalar() {
+    skip_ws();
+    if (peek() == '"') return parse_string();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '+' || text_[pos_] == '-' || text_[pos_] == '.')) {
+      ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    REMSPAN_CHECK(!token.empty());
+    if (token.find_first_of(".eEnN") == std::string::npos) {
+      std::int64_t i = 0;
+      const auto res = std::from_chars(token.data(), token.data() + token.size(), i);
+      REMSPAN_CHECK(res.ec == std::errc{} && res.ptr == token.data() + token.size());
+      return i;
+    }
+    std::size_t consumed = 0;
+    const double d = std::stod(token, &consumed);
+    REMSPAN_CHECK(consumed == token.size());
+    return d;
+  }
+
+  template <typename Fn>
+  void parse_object(Fn&& on_member) {
+    expect('{');
+    bool first = true;
+    while (true) {
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return;
+      }
+      if (!first) expect(',');
+      first = false;
+      std::string key = parse_string();
+      expect(':');
+      on_member(key, parse_scalar());
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string json_scalar_to_string(const JsonScalar& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) return double_to_string(*d);
+  std::string out;
+  append_escaped(out, std::get<std::string>(v));
+  return out;
+}
+
+void BenchReport::param(const std::string& key, JsonScalar value) {
+  upsert(params_, key, std::move(value));
+}
+
+void BenchReport::value(const std::string& key, JsonScalar value) {
+  upsert(values_, key, std::move(value));
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n  \"bench\": ";
+  append_escaped(out, name_);
+  out += ",\n  \"seed\": " + std::to_string(seed_);
+  out += ",\n  \"params\": ";
+  append_object(out, params_);
+  out += ",\n  \"values\": ";
+  append_object(out, values_);
+  out += ",\n  \"wall_seconds\": " + double_to_string(wall_seconds_);
+  out += "\n}\n";
+  return out;
+}
+
+void BenchReport::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  out << to_json();
+  REMSPAN_CHECK(out.good());
+}
+
+BenchReport parse_report(const std::string& json) { return Parser(json).parse(); }
+
+}  // namespace remspan

@@ -1,0 +1,93 @@
+// Machine-readable bench reports. Every bench binary emits, next to its
+// human-readable table, one BENCH_<name>.json file with a fixed flat schema:
+//
+//   {
+//     "bench": "<name>",          // which binary produced it
+//     "seed": <uint>,             // RNG seed of the workload (0 = none)
+//     "params": { ... },          // workload parameters (n, side, eps, ...)
+//     "values": { ... },          // measured values (edges, stretch, ...)
+//     "wall_seconds": <double>    // wall time of the whole bench run
+//   }
+//
+// `params` and `values` are flat objects whose members are integers, doubles
+// or strings, kept in insertion order so reports diff cleanly run-to-run.
+// parse_report() reads exactly this schema back (used by tests and by
+// trajectory tooling that aggregates BENCH_*.json across commits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace remspan {
+
+/// A scalar JSON value as used by the bench report schema.
+using JsonScalar = std::variant<std::int64_t, double, std::string>;
+
+/// Serializes a scalar as a JSON token (strings get quoted and escaped;
+/// doubles use max_digits10 so parse_report round-trips them exactly).
+[[nodiscard]] std::string json_scalar_to_string(const JsonScalar& v);
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  void set_wall_seconds(double s) noexcept { wall_seconds_ = s; }
+  [[nodiscard]] double wall_seconds() const noexcept { return wall_seconds_; }
+
+  /// Records a workload parameter / measured value. Re-using a key overwrites
+  /// the previous value in place (keeps its original position).
+  void param(const std::string& key, JsonScalar value);
+  void value(const std::string& key, JsonScalar value);
+
+  // Unsigned/smaller integer convenience: everything integral lands as int64.
+  template <typename T>
+    requires std::is_integral_v<T>
+  void param(const std::string& key, T v) {
+    param(key, JsonScalar(static_cast<std::int64_t>(v)));
+  }
+  template <typename T>
+    requires std::is_integral_v<T>
+  void value(const std::string& key, T v) {
+    value(key, JsonScalar(static_cast<std::int64_t>(v)));
+  }
+
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonScalar>>& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonScalar>>& values() const noexcept {
+    return values_;
+  }
+
+  /// The full report as a JSON document (trailing newline included).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; REMSPAN_CHECKs that the write succeeded.
+  void write_file(const std::string& path) const;
+
+  /// The canonical file name, BENCH_<name>.json.
+  [[nodiscard]] std::string default_filename() const { return "BENCH_" + name_ + ".json"; }
+
+  [[nodiscard]] bool operator==(const BenchReport& other) const = default;
+
+ private:
+  std::string name_;
+  std::uint64_t seed_ = 0;
+  double wall_seconds_ = 0.0;
+  std::vector<std::pair<std::string, JsonScalar>> params_;
+  std::vector<std::pair<std::string, JsonScalar>> values_;
+};
+
+/// Parses the schema emitted by BenchReport::to_json (throws CheckError on
+/// malformed input). Only the bench-report subset of JSON is understood.
+[[nodiscard]] BenchReport parse_report(const std::string& json);
+
+}  // namespace remspan

@@ -1,0 +1,113 @@
+// The JSON bench reporter: schema emission, file writing, and exact
+// round-trips through parse_report (the trajectory tooling depends on both
+// directions agreeing).
+#include "util/json_report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/prelude.hpp"
+
+namespace remspan {
+namespace {
+
+BenchReport sample_report() {
+  BenchReport report("udg_scaling");
+  report.set_seed(42);
+  report.param("side", 7.5);
+  report.param("mean_nodes", std::int64_t{4000});
+  report.param("algo", std::string("mis"));
+  report.value("edges_per_node", 3.25);
+  report.value("spanner_edges", std::int64_t{12831});
+  report.set_wall_seconds(1.625);
+  return report;
+}
+
+TEST(BenchReport, EmitsFixedSchema) {
+  const std::string json = sample_report().to_json();
+  EXPECT_NE(json.find("\"bench\": \"udg_scaling\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"params\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"values\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_seconds\": 1.625"), std::string::npos);
+  // params keep insertion order.
+  EXPECT_LT(json.find("\"side\""), json.find("\"mean_nodes\""));
+}
+
+TEST(BenchReport, RoundTripsExactly) {
+  const BenchReport original = sample_report();
+  const BenchReport parsed = parse_report(original.to_json());
+  EXPECT_EQ(parsed, original);
+  // And the fixed point holds: serializing again yields identical bytes.
+  EXPECT_EQ(parsed.to_json(), original.to_json());
+}
+
+TEST(BenchReport, RoundTripsAwkwardDoublesAndStrings) {
+  BenchReport report("edge cases");
+  report.set_seed(0);
+  report.param("label", std::string("quote \" backslash \\ newline \n tab \t"));
+  report.value("third", 1.0 / 3.0);
+  report.value("big", 1e300);
+  report.value("negative", -0.125);
+  report.value("whole", 2.0);  // stays a double through the round-trip
+  const BenchReport parsed = parse_report(report.to_json());
+  EXPECT_EQ(parsed, report);
+}
+
+TEST(BenchReport, OverwritingAKeyKeepsPosition) {
+  BenchReport report("r");
+  report.param("n", std::int64_t{10});
+  report.param("side", 2.0);
+  report.param("n", std::int64_t{20});
+  ASSERT_EQ(report.params().size(), 2u);
+  EXPECT_EQ(report.params()[0].first, "n");
+  EXPECT_EQ(std::get<std::int64_t>(report.params()[0].second), 20);
+}
+
+TEST(BenchReport, WritesDefaultFilename) {
+  const BenchReport report = sample_report();
+  EXPECT_EQ(report.default_filename(), "BENCH_udg_scaling.json");
+  const std::string path = "BENCH_roundtrip_test.json";
+  report.write_file(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(parse_report(buf.str()), report);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, RoundTripsFullRangeSeeds) {
+  BenchReport report("big seed");
+  report.set_seed(~std::uint64_t{0});  // > INT64_MAX, valid for Rng
+  const BenchReport parsed = parse_report(report.to_json());
+  EXPECT_EQ(parsed.seed(), ~std::uint64_t{0});
+  EXPECT_EQ(parsed, report);
+}
+
+TEST(BenchReport, ParsesReorderedKeys) {
+  // A hand-edited report may not keep "bench" first; all members must
+  // survive regardless of order.
+  const BenchReport parsed = parse_report(
+      "{\"seed\": 42, \"values\": {\"v\": 7}, \"wall_seconds\": 0.5,"
+      " \"params\": {\"p\": 1.5}, \"bench\": \"reordered\"}");
+  EXPECT_EQ(parsed.name(), "reordered");
+  EXPECT_EQ(parsed.seed(), 42u);
+  EXPECT_EQ(parsed.wall_seconds(), 0.5);
+  ASSERT_EQ(parsed.params().size(), 1u);
+  EXPECT_EQ(std::get<double>(parsed.params()[0].second), 1.5);
+  ASSERT_EQ(parsed.values().size(), 1u);
+  EXPECT_EQ(std::get<std::int64_t>(parsed.values()[0].second), 7);
+}
+
+TEST(BenchReport, RejectsMalformedInput) {
+  EXPECT_THROW(parse_report(""), CheckError);
+  EXPECT_THROW(parse_report("{\"bench\": \"x\""), CheckError);
+  EXPECT_THROW(parse_report("{\"unknown_key\": 1}"), CheckError);
+  EXPECT_THROW(parse_report("{} trailing"), CheckError);
+}
+
+}  // namespace
+}  // namespace remspan

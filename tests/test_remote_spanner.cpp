@@ -4,6 +4,7 @@
 
 #include "analysis/kconn_oracle.hpp"
 #include "analysis/stretch_oracle.hpp"
+#include "core/dominating_tree.hpp"
 #include "core/remote_spanner.hpp"
 #include "geom/ball_graph.hpp"
 #include "geom/synthetic.hpp"
@@ -166,6 +167,31 @@ TEST(RemoteSpanner, CompleteGraphNeedsOnlyStars) {
   EXPECT_EQ(h.size(), 0u);
   const auto report = check_remote_stretch(g, h, Stretch{1.0, 0.0});
   EXPECT_TRUE(report.satisfied);
+}
+
+TEST(RemoteSpanner, RecordedParentEdgeIdsMatchAdjacencySearch) {
+  // union_of_trees consumes the parent edge ids the builders record at
+  // attach time instead of calling Graph::find_edge per tree edge; the two
+  // must agree on every tree any of the four algorithms produces.
+  Rng rng(323);
+  const Graph g = connected_ubg(80, 4.0, rng);
+  DomTreeBuilder builder(g);
+  const auto check_tree = [&](const RootedTree& tree, const char* algo) {
+    for (const NodeId v : tree.nodes()) {
+      if (v == tree.root()) {
+        EXPECT_EQ(tree.parent_edge(v), kInvalidEdge) << algo;
+        continue;
+      }
+      EXPECT_EQ(tree.parent_edge(v), g.find_edge(tree.parent(v), v))
+          << algo << " root=" << tree.root() << " v=" << v;
+    }
+  };
+  for (NodeId u = 0; u < g.num_nodes(); u += 7) {
+    check_tree(builder.greedy(u, 3, 1), "greedy");
+    check_tree(builder.mis(u, 3), "mis");
+    check_tree(builder.greedy_k(u, 2), "greedy_k");
+    check_tree(builder.mis_k(u, 2), "mis_k");
+  }
 }
 
 TEST(RemoteSpanner, MisRequiresBetaOne) {

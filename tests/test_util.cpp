@@ -138,6 +138,22 @@ TEST(DynamicBitset, SetAllRespectsSize) {
   EXPECT_EQ(bits.count(), 67u);
 }
 
+TEST(DynamicBitset, SizeMismatchedUnionTripsCheck) {
+  // The doc comment promises both operands have equal size; a mismatch is a
+  // programming error and must fail loudly, not read out of bounds.
+  DynamicBitset a(70);
+  DynamicBitset b(64);
+  EXPECT_THROW(a |= b, CheckError);
+  EXPECT_THROW(b |= a, CheckError);
+}
+
+TEST(DynamicBitset, SizeMismatchedIntersectionTripsCheck) {
+  DynamicBitset a(128);
+  DynamicBitset b(127);
+  EXPECT_THROW(a &= b, CheckError);
+  EXPECT_THROW(b &= a, CheckError);
+}
+
 TEST(Fit, ExactLine) {
   const std::vector<double> xs{1, 2, 3, 4};
   const std::vector<double> ys{3, 5, 7, 9};  // y = 2x + 1
