@@ -19,7 +19,9 @@
 #include "graph/bfs.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/disjoint_paths.hpp"
+#include "util/bitset.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace remspan {
 namespace {
@@ -58,6 +60,18 @@ void BM_BfsTwoHop(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BfsTwoHop);
+
+void BM_DomTreeGreedy(benchmark::State& state) {
+  const Graph& g = shared_udg();
+  DomTreeBuilder builder(g);
+  const auto r = static_cast<Dist>(state.range(0));
+  NodeId root = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.greedy(root, r, 1).num_edges());
+    root = (root + 1) % g.num_nodes();
+  }
+}
+BENCHMARK(BM_DomTreeGreedy)->Arg(2)->Arg(3)->Arg(5);
 
 void BM_DomTreeGreedyK(benchmark::State& state) {
   const Graph& g = shared_udg();
@@ -110,6 +124,42 @@ void BM_SpannerBuildTh1(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpannerBuildTh1)->Unit(benchmark::kMillisecond);
+
+void BM_SpannerUnion(benchmark::State& state) {
+  // Isolates the union step of the spanner builds: all per-root tree edge
+  // lists are precomputed once, the loop measures only merging them into
+  // one shared atomic bitset from every pool worker (word-batched relaxed
+  // fetch_or) plus the final snapshot into a DynamicBitset.
+  const Graph& g = shared_udg();
+  static const std::vector<std::vector<EdgeId>> tree_edges = [] {
+    const Graph& gg = shared_udg();
+    DomTreeBuilder builder(gg);
+    std::vector<std::vector<EdgeId>> all(gg.num_nodes());
+    for (NodeId u = 0; u < gg.num_nodes(); ++u) {
+      const RootedTree tree = builder.greedy(u, 3, 1);
+      for (const NodeId v : tree.nodes()) {
+        if (v != tree.root()) all[u].push_back(tree.parent_edge(v));
+      }
+    }
+    return all;
+  }();
+
+  auto& pool = ThreadPool::global();
+  std::vector<std::vector<EdgeId>> batches(pool.concurrency());
+  for (auto _ : state) {
+    AtomicBitset shared(g.num_edges());
+    pool.parallel_for_workers(
+        0, tree_edges.size(), [&](std::size_t root, std::size_t worker) {
+          auto& ids = batches[worker];
+          ids.assign(tree_edges[root].begin(), tree_edges[root].end());
+          shared.or_batch(ids);
+        });
+    benchmark::DoNotOptimize(shared.snapshot().count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tree_edges.size()));
+}
+BENCHMARK(BM_SpannerUnion);
 
 void BM_OlsrMprNode(benchmark::State& state) {
   const Graph& g = shared_udg();

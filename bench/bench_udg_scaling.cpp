@@ -9,15 +9,43 @@
 #include "bench_common.hpp"
 #include "core/remote_spanner.hpp"
 #include "util/fit.hpp"
+#include "util/thread_pool.hpp"
+
+#if __has_include(<sys/resource.h>)
+#include <sys/resource.h>
+#endif
 
 using namespace remspan;
 using namespace remspan::bench;
+
+namespace {
+
+/// Peak resident set size in bytes (0 where getrusage is unavailable).
+double peak_rss_bytes() {
+#if __has_include(<sys/resource.h>)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#ifdef __APPLE__
+    return static_cast<double>(usage.ru_maxrss);  // macOS reports bytes
+#else
+    return static_cast<double>(usage.ru_maxrss) * 1024.0;  // Linux/BSD: KiB
+#endif
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   Options opts(argc, argv);
   const double side = opts.get_double("side", 8.0);
   const auto seeds = static_cast<std::uint64_t>(opts.get_int("seeds", 3));
-  const auto n_max = static_cast<std::uint64_t>(opts.get_int("n-max", 3200));
+  // The shared-atomic-bitset union keeps the partial-union footprint at
+  // m/8 bytes total regardless of worker count (the per-worker EdgeSet
+  // scheme cost workers * m/8 and was the first thing to blow memory when
+  // scaling n); the larger default top size is affordable because of it.
+  const auto n_max = static_cast<std::uint64_t>(opts.get_int("n-max", 6400));
   if (opts.help_requested()) {
     std::cout << opts.usage();
     return 0;
@@ -32,8 +60,9 @@ int main(int argc, char** argv) {
          "paper: (1,0)-remote-spanner O(n^{4/3} log n) vs full graph Omega(n^2)  [Th.2, §3.2]");
 
   std::vector<double> ns, full_edges, h1_edges, h2_edges;
+  double union_bytes_at_max = 0;
   Table table({"mean n", "n (comp)", "edges(G)", "edges(H,k=1)", "edges(H,k=2)",
-               "H1/n^(4/3)"});
+               "H1/n^(4/3)", "union KiB"});
   for (std::uint64_t n = 200; n <= n_max; n *= 2) {
     double sum_full = 0, sum_h1 = 0, sum_h2 = 0, sum_nodes = 0;
     for (std::uint64_t s = 0; s < seeds; ++s) {
@@ -51,11 +80,27 @@ int main(int argc, char** argv) {
     full_edges.push_back(fe);
     h1_edges.push_back(h1);
     h2_edges.push_back(h2);
+    // Mean over seeds, word-rounded, like the sibling columns.
+    const double union_bytes = std::ceil(fe / 64.0) * 8.0;
+    union_bytes_at_max = union_bytes;
     table.add_row({std::to_string(n), format_double(nodes, 0), format_double(fe, 0),
                    format_double(h1, 0), format_double(h2, 0),
-                   format_double(h1 / std::pow(nodes, 4.0 / 3.0), 3)});
+                   format_double(h1 / std::pow(nodes, 4.0 / 3.0), 3),
+                   format_double(union_bytes / 1024.0, 1)});
   }
   table.print(std::cout);
+
+  // Human-readable only: worker count and RSS depend on the machine, so
+  // they stay out of the JSON values (bench_diff treats values as
+  // deterministic at fixed seed).
+  const double workers = static_cast<double>(ThreadPool::global().concurrency());
+  std::cout << "\npartial-union memory at n-max: "
+            << format_double(union_bytes_at_max / 1024.0, 1)
+            << " KiB shared (one atomic bitset, O(m) total); per-worker EdgeSet "
+               "accumulators would need "
+            << format_double(workers * union_bytes_at_max / 1024.0, 1) << " KiB ("
+            << format_double(workers, 0) << " workers x m/8 bytes); peak RSS "
+            << format_double(peak_rss_bytes() / (1024.0 * 1024.0), 1) << " MiB\n";
 
   const auto fit_full = fit_power_law(ns, full_edges);
   const auto fit_h1 = fit_power_law(ns, h1_edges);

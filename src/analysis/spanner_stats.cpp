@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <vector>
 
 #include "util/table.hpp"
 
@@ -18,9 +19,15 @@ SpannerStats compute_spanner_stats(const EdgeSet& h) {
   }
   const NodeId n = g.num_nodes();
   if (n > 0) {
-    for (NodeId v = 0; v < n; ++v) {
-      stats.max_degree = std::max(stats.max_degree, h.degree_in(v));
-    }
+    // Degrees via word-level iteration over the selected edges: O(n + |H|)
+    // instead of probing every adjacency slot's bit (O(m) probes).
+    std::vector<std::size_t> degree(n, 0);
+    h.bits().for_each_set([&](std::size_t id) {
+      const Edge& e = g.edge(static_cast<EdgeId>(id));
+      ++degree[e.u];
+      ++degree[e.v];
+    });
+    stats.max_degree = *std::max_element(degree.begin(), degree.end());
     stats.avg_degree = 2.0 * static_cast<double>(stats.spanner_edges) / static_cast<double>(n);
     stats.edges_per_node = static_cast<double>(stats.spanner_edges) / static_cast<double>(n);
   }

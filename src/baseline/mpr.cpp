@@ -77,7 +77,7 @@ std::vector<NodeId> olsr_mpr_set(const Graph& g, NodeId u) {
 
 EdgeSet olsr_mpr_spanner(const Graph& g) {
   auto& pool = ThreadPool::global();
-  std::vector<EdgeSet> partial(pool.size() + 1, EdgeSet(g));
+  std::vector<EdgeSet> partial(pool.concurrency(), EdgeSet(g));
   pool.parallel_for_workers(0, g.num_nodes(), [&](std::size_t u, std::size_t worker) {
     const auto mpr = olsr_mpr_set(g, static_cast<NodeId>(u));
     for (const NodeId m : mpr) partial[worker].insert(static_cast<NodeId>(u), m);

@@ -12,7 +12,8 @@ DomTreeBuilder::DomTreeBuilder(const Graph& g)
       in_x_(g.num_nodes(), 0),
       cov_(g.num_nodes(), 0),
       rem_(g.num_nodes(), 0),
-      branches_(g.num_nodes()) {}
+      branches_(g.num_nodes()),
+      nbr_u_(g.num_nodes(), 0) {}
 
 void DomTreeBuilder::add_parent_chain(RootedTree& tree, NodeId x) {
   // Collect the BFS ancestors of x that are not yet in the tree, then attach
@@ -40,7 +41,9 @@ void DomTreeBuilder::reset_flags() {
     cov_[v] = 0;
     rem_[v] = 0;
     branches_[v].clear();
+    nbr_u_[v] = 0;
   }
+  heap_.clear();
 }
 
 RootedTree DomTreeBuilder::greedy(NodeId u, Dist r, Dist beta) {
@@ -49,40 +52,44 @@ RootedTree DomTreeBuilder::greedy(NodeId u, Dist r, Dist beta) {
   const Dist depth_needed = std::max(r, r - 1 + beta);
   bfs_.run(GraphView(*g_), u, depth_needed);
 
-  std::vector<NodeId> candidates;
+  // cover(x) = |({x} ∪ N(x)) ∩ S|: recomputed only for candidates that
+  // surface at the top of the lazy heap (see pop_best_candidate).
+  auto live_cover = [&](NodeId x) {
+    std::uint32_t cover = in_s_[x];
+    for (const NodeId y : g_->neighbors(x)) cover += in_s_[y];
+    return cover;
+  };
+
   for (Dist shell = 2; shell <= r; ++shell) {
-    // S := nodes at distance exactly `shell`;
+    // S := nodes at distance exactly `shell` — one contiguous BFS slice;
     // X := nodes in the distance range [shell-1, shell-1+beta].
-    std::size_t s_count = 0;
-    candidates.clear();
-    for (const NodeId v : bfs_.order()) {
-      const Dist d = bfs_.dist(v);
-      if (d == shell) {
-        in_s_[v] = 1;
-        ++s_count;
-      }
-      if (d >= shell - 1 && d <= shell - 1 + beta) {
-        in_x_[v] = 1;
-        candidates.push_back(v);
+    const auto s_nodes = bfs_.shell(shell);
+    std::size_t s_count = s_nodes.size();
+    if (s_count == 0) continue;
+    for (const NodeId v : s_nodes) in_s_[v] = 1;
+
+    // Clamp the candidate range to shells that exist: shells past the ball's
+    // eccentricity are empty, and a huge beta must not spin over them.
+    const Dist x_hi = static_cast<Dist>(std::min<std::uint64_t>(
+        std::uint64_t{shell} - 1 + beta, bfs_.num_shells() - 1));
+
+    heap_.clear();
+    for (Dist d = shell - 1; d <= x_hi; ++d) {
+      for (const NodeId x : bfs_.shell(d)) {
+        in_x_[x] = 1;
+        const std::uint32_t cover = live_cover(x);
+        if (cover > 0) heap_.push_back({heap_key(cover, x), s_epoch_});
       }
     }
+    std::make_heap(heap_.begin(), heap_.end());
+
     while (s_count > 0) {
       // Greedy set-cover pick: the candidate outside M covering the most
       // still-uncovered shell nodes; ties go to the smallest id.
-      NodeId best = kInvalidNode;
-      std::size_t best_cover = 0;
-      for (const NodeId x : candidates) {
-        if (in_x_[x] != 1) continue;  // already picked into M
-        std::size_t cover = in_s_[x];
-        for (const NodeId y : g_->neighbors(x)) cover += in_s_[y];
-        if (cover > best_cover || (cover == best_cover && cover > 0 && x < best)) {
-          best_cover = cover;
-          best = x;
-        }
-      }
+      const NodeId best = pop_best_candidate(/*unpicked=*/1, live_cover);
       // Uncovered shell nodes always retain an unpicked BFS predecessor in
       // X, so the greedy can never stall (Proposition 2's argument).
-      REMSPAN_CHECK(best != kInvalidNode && best_cover > 0);
+      REMSPAN_CHECK(best != kInvalidNode);
       in_x_[best] = 2;
       add_parent_chain(tree, best);
       if (in_s_[best] != 0) {
@@ -95,8 +102,11 @@ RootedTree DomTreeBuilder::greedy(NodeId u, Dist r, Dist beta) {
           --s_count;
         }
       }
+      ++s_epoch_;  // a positive-cover pick always shrank S
     }
-    for (const NodeId x : candidates) in_x_[x] = 0;
+    for (Dist d = shell - 1; d <= x_hi; ++d) {
+      for (const NodeId x : bfs_.shell(d)) in_x_[x] = 0;
+    }
   }
   reset_flags();
   return tree;
@@ -107,26 +117,25 @@ RootedTree DomTreeBuilder::mis(NodeId u, Dist r) {
   RootedTree tree(u);
   bfs_.run(GraphView(*g_), u, r);
 
-  // B := B(u, r) \ B(u, 1), processed by (distance, id): the BFS order is
-  // already sorted by distance, so a stable sort by id inside each shell
-  // gives the deterministic "pick x at minimal distance" of Algorithm 2.
-  std::vector<NodeId> shell_nodes;
-  for (const NodeId v : bfs_.order()) {
-    if (bfs_.dist(v) >= 2) {
-      in_s_[v] = 1;
-      shell_nodes.push_back(v);
-    }
+  // B := B(u, r) \ B(u, 1), processed by (distance, id): shells are
+  // contiguous slices of the BFS order, so sorting each shell by id — far
+  // cheaper than one global sort of the ball — yields the deterministic
+  // "pick x at minimal distance" order of Algorithm 2.
+  const Dist num_shells = bfs_.num_shells();
+  for (Dist d = 2; d < num_shells; ++d) {
+    for (const NodeId v : bfs_.shell(d)) in_s_[v] = 1;
   }
-  std::sort(shell_nodes.begin(), shell_nodes.end(), [&](NodeId a, NodeId b) {
-    return bfs_.dist(a) != bfs_.dist(b) ? bfs_.dist(a) < bfs_.dist(b) : a < b;
-  });
-
-  for (const NodeId x : shell_nodes) {
-    if (in_s_[x] == 0) continue;
-    // x is the remaining node of B at minimal distance: add it to the MIS.
-    add_parent_chain(tree, x);
-    in_s_[x] = 0;
-    for (const NodeId y : g_->neighbors(x)) in_s_[y] = 0;
+  for (Dist d = 2; d < num_shells; ++d) {
+    const auto sh = bfs_.shell(d);
+    shell_sorted_.assign(sh.begin(), sh.end());
+    std::sort(shell_sorted_.begin(), shell_sorted_.end());
+    for (const NodeId x : shell_sorted_) {
+      if (in_s_[x] == 0) continue;
+      // x is the remaining node of B at minimal distance: add it to the MIS.
+      add_parent_chain(tree, x);
+      in_s_[x] = 0;
+      for (const NodeId y : g_->neighbors(x)) in_s_[y] = 0;
+    }
   }
   reset_flags();
   return tree;
@@ -139,34 +148,34 @@ RootedTree DomTreeBuilder::greedy_k(NodeId u, Dist k) {
 
   // S := distance-2 shell. cov_[v] counts |N(v) ∩ M|, rem_[v] counts the
   // common neighbors of v and u not yet picked into M.
-  std::size_t s_count = 0;
-  for (const NodeId v : bfs_.order()) {
-    if (bfs_.dist(v) == 2) {
-      in_s_[v] = 1;
-      ++s_count;
-    }
-  }
+  const auto s_nodes = bfs_.shell(2);
+  std::size_t s_count = s_nodes.size();
+  for (const NodeId v : s_nodes) in_s_[v] = 1;
   for (const NodeId x : g_->neighbors(u)) {
     for (const NodeId y : g_->neighbors(x)) {
       if (in_s_[y] != 0) ++rem_[y];
     }
   }
+  // cover(x) = |N(x) ∩ S| per relay candidate x ∈ N(u); lazy-heap picks as
+  // in greedy(), revalidated against this on pop.
+  auto live_cover = [&](NodeId x) {
+    std::uint32_t cover = 0;
+    for (const NodeId y : g_->neighbors(x)) cover += in_s_[y];
+    return cover;
+  };
+  heap_.clear();
+  for (const NodeId x : g_->neighbors(u)) {
+    const std::uint32_t cover = live_cover(x);
+    if (cover > 0) heap_.push_back({heap_key(cover, x), s_epoch_});
+  }
+  std::make_heap(heap_.begin(), heap_.end());
 
   while (s_count > 0) {
-    NodeId best = kInvalidNode;
-    std::size_t best_cover = 0;
-    for (const NodeId x : g_->neighbors(u)) {
-      if (in_x_[x] != 0) continue;  // already in M
-      std::size_t cover = 0;
-      for (const NodeId y : g_->neighbors(x)) cover += in_s_[y];
-      if (cover > best_cover || (cover == best_cover && cover > 0 && x < best)) {
-        best_cover = cover;
-        best = x;
-      }
-    }
-    REMSPAN_CHECK(best != kInvalidNode && best_cover > 0);
+    const NodeId best = pop_best_candidate(/*unpicked=*/0, live_cover);
+    REMSPAN_CHECK(best != kInvalidNode);
     in_x_[best] = 1;
     tree.add_child(u, best, bfs_.parent_edge(best));
+    bool removed = false;
     for (const NodeId y : g_->neighbors(best)) {
       if (in_s_[y] == 0) continue;
       ++cov_[y];
@@ -175,8 +184,10 @@ RootedTree DomTreeBuilder::greedy_k(NodeId u, Dist k) {
       if (cov_[y] >= k || rem_[y] == 0) {
         in_s_[y] = 0;
         --s_count;
+        removed = true;
       }
     }
+    if (removed) ++s_epoch_;
   }
   reset_flags();
   return tree;
@@ -190,17 +201,14 @@ RootedTree DomTreeBuilder::mis_k(NodeId u, Dist k) {
   // S := distance-2 shell (kept in id order for deterministic picks);
   // rem_[v] = |(N(v) ∩ N(u)) \ V(T)|; branches_[v] = distinct tree branches
   // holding a neighbor of v within depth 2.
-  std::vector<NodeId> shell;
-  std::size_t s_count = 0;
-  for (const NodeId v : bfs_.order()) {
-    if (bfs_.dist(v) == 2) {
-      in_s_[v] = 1;
-      shell.push_back(v);
-      ++s_count;
-    }
-  }
-  std::sort(shell.begin(), shell.end());
+  const auto s_nodes = bfs_.shell(2);
+  std::size_t s_count = s_nodes.size();
+  for (const NodeId v : s_nodes) in_s_[v] = 1;
+  shell_sorted_.assign(s_nodes.begin(), s_nodes.end());
+  std::sort(shell_sorted_.begin(), shell_sorted_.end());
+  const auto& shell = shell_sorted_;
   for (const NodeId x : g_->neighbors(u)) {
+    nbr_u_[x] = 1;
     for (const NodeId y : g_->neighbors(x)) {
       if (in_s_[y] != 0) ++rem_[y];
     }
@@ -239,10 +247,12 @@ RootedTree DomTreeBuilder::mis_k(NodeId u, Dist k) {
       if (s_count == 0) break;
       if (in_x_[x] == 0 || in_s_[x] == 0) continue;
       // Pick x into this round's MIS. Its available common neighbors with u
-      // are fresh depth-1 attachment points.
+      // are fresh depth-1 attachment points. N(u) membership is a flag load
+      // (nbr_u_ was marked once at tree start), not an O(log deg) adjacency
+      // search per neighbor of every pick.
       ys.clear();
       for (const NodeId y : g_->neighbors(x)) {
-        if (g_->has_edge(u, y) && !tree.contains(y)) ys.push_back(y);
+        if (nbr_u_[y] != 0 && !tree.contains(y)) ys.push_back(y);
       }
       // x in S implies rem_[x] > 0, so at least one attachment point exists.
       REMSPAN_CHECK(!ys.empty());

@@ -19,6 +19,8 @@
 // each result is a genuine tree with d_T(u,x) = d_G(u,x).
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "graph/bfs.hpp"
@@ -31,6 +33,16 @@ namespace remspan {
 /// Reusable per-thread builder: all scratch arrays are kept between calls
 /// and reset in O(|ball|) so building trees for every root of a graph costs
 /// the sum of local work, not n times global resets.
+///
+/// The greedy set-cover picks (greedy / greedy_k) run off a lazy max-heap
+/// of cover counts instead of rescanning every candidate per pick: cover
+/// counts only decrease within a round, so a heap entry recorded at push
+/// time is an upper bound on the live count — stale entries are popped,
+/// re-validated against the live count, and the first entry that matches is
+/// the true maximum (see pop_best_candidate). Ties break on smallest id
+/// (encoded into the heap key), which keeps every pick — and therefore
+/// every tree — bit-identical to the quadratic reference scan
+/// (test_domtree_equivalence.cpp pins this down).
 class DomTreeBuilder {
  public:
   explicit DomTreeBuilder(const Graph& g);
@@ -56,6 +68,53 @@ class DomTreeBuilder {
   /// Clears the per-node flags for every node the last BFS touched.
   void reset_flags();
 
+  /// Heap key for the lazy max-heap: higher cover first, then smaller id
+  /// (ids are stored complemented so the default max-heap order does both).
+  [[nodiscard]] static constexpr std::uint64_t heap_key(std::uint32_t cover,
+                                                        NodeId id) noexcept {
+    return (std::uint64_t{cover} << 32) | static_cast<std::uint32_t>(~id);
+  }
+
+  /// Pops the unpicked candidate with the maximum live cover count (smallest
+  /// id on ties) off heap_. `unpicked` is the in_x_ value marking a
+  /// still-pickable candidate; `live_cover(x)` recomputes x's current cover
+  /// in O(deg x). Returns kInvalidNode when no candidate with a positive
+  /// cover count remains (the greedy-stall condition).
+  ///
+  /// Lazy validation (Minoux's accelerated greedy): every entry's recorded
+  /// count is an upper bound on the live count because covers only decrease
+  /// within a round. An entry that surfaces stale is re-pushed at its live
+  /// count; the first entry that validates is the true (max cover, min id)
+  /// pick. Only candidates that reach the top are ever recomputed, so a
+  /// pick costs O(pops · deg) instead of O(|X| · deg) — and an entry whose
+  /// epoch shows S unchanged since its count was recorded validates with no
+  /// recompute at all (callers bump s_epoch_ on every removal from S).
+  template <typename CoverFn>
+  [[nodiscard]] NodeId pop_best_candidate(std::uint8_t unpicked, CoverFn&& live_cover) {
+    while (!heap_.empty()) {
+      const HeapEntry entry = heap_.front();
+      std::pop_heap(heap_.begin(), heap_.end());
+      heap_.pop_back();
+      const auto recorded = static_cast<std::uint32_t>(entry.key >> 32);
+      const auto x = static_cast<NodeId>(~entry.key);
+      if (in_x_[x] != unpicked) continue;  // picked: every remaining entry is dead
+      if (entry.epoch == s_epoch_) return x;  // S untouched since recording: exact
+      const std::uint32_t live = live_cover(x);
+      if (live == 0) continue;  // covers never increase: permanently useless
+      if (live != recorded) {
+        push_candidate(live, x);
+        continue;
+      }
+      return x;
+    }
+    return kInvalidNode;
+  }
+
+  void push_candidate(std::uint32_t cover, NodeId x) {
+    heap_.push_back(HeapEntry{heap_key(cover, x), s_epoch_});
+    std::push_heap(heap_.begin(), heap_.end());
+  }
+
   const Graph* g_;
   BoundedBfs bfs_;
   // in_s_: node still needs covering; cov_: generic per-node counter;
@@ -65,6 +124,24 @@ class DomTreeBuilder {
   std::vector<Dist> cov_;
   std::vector<Dist> rem_;
   std::vector<std::vector<NodeId>> branches_;
+  /// Lazy-heap entry: key orders by (cover, smallest id); epoch is the
+  /// s_epoch_ value at which the cover was recorded (exact iff unchanged).
+  struct HeapEntry {
+    std::uint64_t key;
+    std::uint32_t epoch;
+    [[nodiscard]] bool operator<(const HeapEntry& o) const noexcept { return key < o.key; }
+  };
+
+  // nbr_u_: marks N(root) so mis_k's attach-point test is an O(1) flag
+  // load instead of a per-neighbor adjacency search.
+  std::vector<std::uint8_t> nbr_u_;
+  // heap_: lazy max-heap over heap_key(cover, id);
+  // shell_sorted_: per-shell id-order scratch (mis, mis_k).
+  std::vector<HeapEntry> heap_;
+  std::vector<NodeId> shell_sorted_;
+  // Bumped once per batch of removals from the cover target set S; heap
+  // entries recorded at the current epoch need no revalidation.
+  std::uint32_t s_epoch_ = 0;
 };
 
 // --- property checkers (used by tests and the approximation benches) -------

@@ -1,9 +1,12 @@
 #include "core/remote_spanner.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
+#include <utility>
 #include <vector>
 
+#include "util/bitset.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -12,35 +15,50 @@ namespace remspan {
 namespace {
 
 /// Shared driver: runs `make_tree(builder, u)` for every root u in parallel,
-/// unioning the tree edges into one EdgeSet (one accumulator per worker, one
-/// final OR pass — no locking on the hot path).
+/// unioning the tree edges into one shared bitset of atomic words — O(m)
+/// bits total, independent of the worker count (the previous per-worker
+/// EdgeSet accumulators cost O(workers · m), which is what blew memory
+/// first on n >= 10^6 inputs).
+///
+/// Memory model: each worker merges one tree's edge bits into plain
+/// (word, mask) pairs first, then publishes each touched word with a single
+/// relaxed fetch_or. Relaxed is sufficient because a set bit carries no
+/// payload other threads read through it; the final snapshot() happens
+/// after the fork/join barrier of parallel_for_workers, which orders every
+/// write before the read.
 EdgeSet union_of_trees(const Graph& g,
                        const std::function<RootedTree(DomTreeBuilder&, NodeId)>& make_tree,
                        SpannerBuildInfo* info) {
   Timer timer;
   auto& pool = ThreadPool::global();
-  const std::size_t workers = pool.size() + 1;
+  const std::size_t workers = pool.concurrency();
 
-  std::vector<EdgeSet> partial(workers, EdgeSet(g));
+  AtomicBitset shared(g.num_edges());
   std::vector<std::unique_ptr<DomTreeBuilder>> builders(workers);
   for (auto& b : builders) b = std::make_unique<DomTreeBuilder>(g);
+  // Per-worker reusable edge-id buffer, sized by the largest tree seen.
+  std::vector<std::vector<EdgeId>> edge_ids(workers);
 
   std::atomic<std::size_t> sum_edges{0};
   std::atomic<std::size_t> max_edges{0};
 
   pool.parallel_for_workers(0, g.num_nodes(), [&](std::size_t root, std::size_t worker) {
     const RootedTree tree = make_tree(*builders[worker], static_cast<NodeId>(root));
-    EdgeSet& acc = partial[worker];
-    std::size_t edges = 0;
+    auto& ids = edge_ids[worker];
+    ids.clear();
     for (const NodeId v : tree.nodes()) {
       if (v == tree.root()) continue;
       // The builders record each node's parent edge id at attach time, so the
       // union needs no adjacency search per tree edge.
       const EdgeId id = tree.parent_edge(v);
       REMSPAN_CHECK(id != kInvalidEdge);
-      acc.insert(id);
-      ++edges;
+      ids.push_back(id);
     }
+    const std::size_t edges = ids.size();
+    // Word-level batching (or_batch): one tree's bits merge into plain
+    // masks locally, one atomic RMW per touched word — contention stays
+    // off the hot loop.
+    shared.or_batch(ids);
     sum_edges.fetch_add(edges, std::memory_order_relaxed);
     std::size_t seen = max_edges.load(std::memory_order_relaxed);
     while (edges > seen &&
@@ -48,8 +66,7 @@ EdgeSet union_of_trees(const Graph& g,
     }
   });
 
-  EdgeSet spanner(g);
-  for (const EdgeSet& part : partial) spanner |= part;
+  EdgeSet spanner(g, shared.snapshot());
 
   if (info != nullptr) {
     info->sum_tree_edges = sum_edges.load();

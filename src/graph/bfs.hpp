@@ -3,8 +3,16 @@
 // BoundedBfs keeps its arrays between runs and resets only the nodes it
 // touched, so per-root ball explorations (the inner loop of every
 // dominating-tree algorithm) cost O(|ball|), not O(n).
+//
+// The visit order is a reusable flat workspace for the ball B(src, depth):
+// nodes are appended in non-decreasing distance, and run() records the
+// offset at which each distance shell starts, so shell(d) hands back the
+// nodes at exactly distance d as a contiguous span in O(1). The
+// dominating-tree builders iterate one shell at a time in O(|shell|)
+// instead of rescanning the whole ball per shell.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/views.hpp"
@@ -27,28 +35,28 @@ class BoundedBfs {
     dist_[src] = 0;
     parent_[src] = kInvalidNode;
     order_.push_back(src);
+    shell_offsets_.push_back(0);  // shell 0 starts at order_[0]
     // order_ doubles as the queue: nodes are appended in BFS order.
     for (std::size_t head = 0; head < order_.size(); ++head) {
       const NodeId u = order_[head];
       const Dist du = dist_[u];
       if (du >= max_depth) continue;
+      const Dist dv = du + 1;
+      auto visit = [&](NodeId v, EdgeId id) {
+        if (dist_[v] == kUnreachable) {
+          dist_[v] = dv;
+          parent_[v] = u;
+          parent_edge_[v] = id;
+          // First node of a new shell: record where it starts. Shells appear
+          // in order because order_ is sorted by distance.
+          if (dv == shell_offsets_.size()) shell_offsets_.push_back(order_.size());
+          order_.push_back(v);
+        }
+      };
       if constexpr (EdgeNeighborView<View>) {
-        view.for_each_neighbor_edge(u, [&](NodeId v, EdgeId id) {
-          if (dist_[v] == kUnreachable) {
-            dist_[v] = du + 1;
-            parent_[v] = u;
-            parent_edge_[v] = id;
-            order_.push_back(v);
-          }
-        });
+        view.for_each_neighbor_edge(u, visit);
       } else {
-        view.for_each_neighbor(u, [&](NodeId v) {
-          if (dist_[v] == kUnreachable) {
-            dist_[v] = du + 1;
-            parent_[v] = u;
-            order_.push_back(v);
-          }
-        });
+        view.for_each_neighbor(u, [&](NodeId v) { visit(v, kInvalidEdge); });
       }
     }
     return order_;
@@ -70,6 +78,23 @@ class BoundedBfs {
 
   [[nodiscard]] const std::vector<NodeId>& order() const noexcept { return order_; }
 
+  /// Number of non-empty distance shells of the last run (max distance + 1);
+  /// 0 before the first run.
+  [[nodiscard]] Dist num_shells() const noexcept {
+    return static_cast<Dist>(shell_offsets_.size());
+  }
+
+  /// The nodes at exactly distance d from the source, as a contiguous slice
+  /// of order() (empty span for d >= num_shells()). Within a shell, nodes
+  /// appear in discovery order, not id order.
+  [[nodiscard]] std::span<const NodeId> shell(Dist d) const noexcept {
+    if (d >= shell_offsets_.size()) return {};
+    const std::size_t begin = shell_offsets_[d];
+    const std::size_t end =
+        d + 1 < shell_offsets_.size() ? shell_offsets_[d + 1] : order_.size();
+    return {order_.data() + begin, order_.data() + end};
+  }
+
  private:
   void reset() {
     for (const NodeId v : order_) {
@@ -78,12 +103,14 @@ class BoundedBfs {
       parent_edge_[v] = kInvalidEdge;
     }
     order_.clear();
+    shell_offsets_.clear();
   }
 
   std::vector<Dist> dist_;
   std::vector<NodeId> parent_;
   std::vector<EdgeId> parent_edge_;
   std::vector<NodeId> order_;
+  std::vector<std::size_t> shell_offsets_;  // shell d starts at order_[shell_offsets_[d]]
 };
 
 /// One-shot BFS: distance vector from src over the view (kUnreachable for

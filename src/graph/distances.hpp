@@ -46,8 +46,8 @@ template <NeighborView View>
   if (n == 0) return dm;
   auto& pool = ThreadPool::global();
   std::vector<BoundedBfs> scratch;
-  scratch.reserve(pool.size() + 1);
-  for (std::size_t i = 0; i <= pool.size(); ++i) scratch.emplace_back(n);
+  scratch.reserve(pool.concurrency());
+  for (std::size_t i = 0; i < pool.concurrency(); ++i) scratch.emplace_back(n);
   pool.parallel_for_workers(0, n, [&](std::size_t src, std::size_t worker) {
     BoundedBfs& bfs = scratch[worker];
     bfs.run(view, static_cast<NodeId>(src));

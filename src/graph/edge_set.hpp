@@ -19,6 +19,13 @@ class EdgeSet {
   explicit EdgeSet(const Graph& g, bool all = false)
       : graph_(&g), bits_(g.num_edges(), all) {}
 
+  /// Adopts an already-built bitset over g's edge ids (one bit per edge).
+  /// This is how the parallel spanner union turns its shared AtomicBitset
+  /// snapshot into an EdgeSet without re-inserting every edge.
+  EdgeSet(const Graph& g, DynamicBitset bits) : graph_(&g), bits_(std::move(bits)) {
+    REMSPAN_CHECK(bits_.size() == g.num_edges());
+  }
+
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
   void insert(EdgeId id) { bits_.set(id); }

@@ -1,8 +1,30 @@
 #include "util/bitset.hpp"
 
+#include <algorithm>
 #include <bit>
 
 namespace remspan {
+
+void AtomicBitset::or_batch(std::vector<std::uint32_t>& bits) {
+  std::sort(bits.begin(), bits.end());
+  for (std::size_t i = 0; i < bits.size();) {
+    const std::size_t w = bits[i] >> 6;
+    std::uint64_t mask = 0;
+    for (; i < bits.size() && (bits[i] >> 6) == w; ++i) {
+      mask |= std::uint64_t{1} << (bits[i] & 63);
+    }
+    or_word(w, mask);
+  }
+}
+
+DynamicBitset DynamicBitset::from_words(std::size_t bits, std::vector<std::uint64_t> words) {
+  REMSPAN_CHECK(words.size() == (bits + 63) / 64);
+  DynamicBitset out;
+  out.bits_ = bits;
+  out.words_ = std::move(words);
+  out.trim();
+  return out;
+}
 
 std::size_t DynamicBitset::count() const noexcept {
   std::size_t total = 0;

@@ -50,8 +50,11 @@ void ThreadPool::parallel_for_workers(
     const std::function<void(std::size_t, std::size_t)>& body, std::size_t chunk) {
   if (begin >= end) return;
   const std::size_t total = end - begin;
-  const std::size_t helpers = std::min(workers_.size(), total == 1 ? std::size_t{0} : workers_.size());
-  if (helpers == 0 || total == 1) {
+  // Never enqueue more helpers than there are items beyond the caller's own:
+  // surplus helpers would only wake up, fail the fetch_add race, and go back
+  // to sleep — pure wakeup/teardown overhead on small inputs.
+  const std::size_t helpers = std::min(workers_.size(), total - 1);
+  if (helpers == 0) {
     const std::size_t caller_id = workers_.size();
     for (std::size_t i = begin; i < end; ++i) body(i, caller_id);
     return;
@@ -100,8 +103,12 @@ void ThreadPool::parallel_for_workers(
     for (std::size_t w = 0; w < helpers; ++w) {
       queue_.push(Task{[&shared, &drain, w] {
         drain(w);
+        // The decrement must happen under done_mutex: if it preceded the
+        // lock, the caller could observe remaining == 0 (spurious wakeup),
+        // return, and destroy `shared` while this helper is still about to
+        // lock/notify the destroyed mutex and condition variable.
+        std::lock_guard done_lock(shared.done_mutex);
         if (shared.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard done_lock(shared.done_mutex);
           shared.done_cv.notify_all();
         }
       }});

@@ -25,6 +25,12 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Number of distinct worker ids parallel_for_workers can hand out: the
+  /// pool threads plus the participating caller thread. Callers sizing
+  /// per-worker scratch (builders, batch buffers) should use this instead
+  /// of size() + 1 by hand.
+  [[nodiscard]] std::size_t concurrency() const noexcept { return workers_.size() + 1; }
+
   /// Runs body(i) for every i in [begin, end), distributing dynamically in
   /// chunks, and blocks until all iterations finish. body must be safe to
   /// invoke concurrently from multiple threads. Exceptions from body are

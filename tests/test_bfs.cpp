@@ -65,6 +65,40 @@ TEST(BoundedBfs, OrderHasNonDecreasingDistance) {
   }
 }
 
+TEST(BoundedBfs, ShellsPartitionTheBall) {
+  Rng rng(41);
+  const Graph g = connected_gnp(60, 0.08, rng);
+  BoundedBfs bfs(g.num_nodes());
+  for (const Dist depth : {Dist{2}, Dist{4}, kUnreachable}) {
+    bfs.run(GraphView(g), 7, depth);
+    // Every shell is the exact contiguous slice of the order at distance d,
+    // and concatenating the shells reproduces the full visit order.
+    std::size_t total = 0;
+    for (Dist d = 0; d < bfs.num_shells(); ++d) {
+      const auto sh = bfs.shell(d);
+      for (const NodeId v : sh) EXPECT_EQ(bfs.dist(v), d);
+      EXPECT_EQ(sh.data(), bfs.order().data() + total);
+      total += sh.size();
+    }
+    EXPECT_EQ(total, bfs.order().size());
+    EXPECT_FALSE(bfs.shell(0).empty());
+    EXPECT_TRUE(bfs.shell(bfs.num_shells()).empty());
+    EXPECT_TRUE(bfs.shell(kUnreachable).empty());
+  }
+}
+
+TEST(BoundedBfs, ShellOffsetsResetBetweenRuns) {
+  const Graph g = path_graph(10);
+  BoundedBfs bfs(10);
+  bfs.run(GraphView(g), 0);
+  EXPECT_EQ(bfs.num_shells(), 10u);
+  bfs.run(GraphView(g), 9, 2);
+  EXPECT_EQ(bfs.num_shells(), 3u);
+  EXPECT_EQ(bfs.shell(2).size(), 1u);
+  EXPECT_EQ(bfs.shell(2)[0], 7u);
+  EXPECT_TRUE(bfs.shell(3).empty());
+}
+
 TEST(SubgraphView, EmptySubgraphDisconnects) {
   const Graph g = path_graph(4);
   const EdgeSet h(g);  // no edges selected

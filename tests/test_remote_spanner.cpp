@@ -194,6 +194,24 @@ TEST(RemoteSpanner, RecordedParentEdgeIdsMatchAdjacencySearch) {
   }
 }
 
+TEST(RemoteSpanner, ConcurrentUnionIsDeterministic) {
+  // The shared atomic-bitset union must give one well-defined edge set no
+  // matter how roots are scheduled across workers: repeated parallel builds
+  // agree bit-for-bit. Run on a graph large enough that every pool worker
+  // actually participates (this is also the TSan workout for the relaxed
+  // fetch_or publication path).
+  Rng rng(325);
+  const Graph g = connected_ubg(400, 6.0, rng);
+  const EdgeSet first = build_low_stretch_remote_spanner(g, 0.5);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(build_low_stretch_remote_spanner(g, 0.5) == first) << "rep=" << rep;
+  }
+  const EdgeSet first_k = build_k_connecting_spanner(g, 2);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_TRUE(build_k_connecting_spanner(g, 2) == first_k) << "rep=" << rep;
+  }
+}
+
 TEST(RemoteSpanner, MisRequiresBetaOne) {
   const Graph g = cycle_graph(5);
   EXPECT_THROW(build_remote_spanner(g, 3, 0, TreeAlgorithm::kMis), CheckError);

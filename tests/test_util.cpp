@@ -132,6 +132,47 @@ TEST(DynamicBitset, UnionAndIntersection) {
   EXPECT_TRUE(i.test(69));
 }
 
+TEST(DynamicBitset, FromWordsAdoptsAndTrims) {
+  // 70 bits -> 2 words; the tail of the last word must be masked off.
+  std::vector<std::uint64_t> words{~std::uint64_t{0}, ~std::uint64_t{0}};
+  const DynamicBitset bits = DynamicBitset::from_words(70, std::move(words));
+  EXPECT_EQ(bits.size(), 70u);
+  EXPECT_EQ(bits.count(), 70u);
+  EXPECT_TRUE(bits.test(69));
+  EXPECT_EQ(bits.num_words(), 2u);
+  EXPECT_EQ(bits.words()[1], (std::uint64_t{1} << 6) - 1);
+}
+
+TEST(DynamicBitset, FromWordsSizeMismatchTripsCheck) {
+  EXPECT_THROW(DynamicBitset::from_words(70, std::vector<std::uint64_t>(3)), CheckError);
+}
+
+TEST(AtomicBitset, SetTestSnapshot) {
+  AtomicBitset bits(130);
+  bits.set(0);
+  bits.set(64);
+  bits.or_word(2, std::uint64_t{1} << 1);  // bit 129
+  EXPECT_TRUE(bits.test(0));
+  EXPECT_TRUE(bits.test(129));
+  EXPECT_FALSE(bits.test(63));
+  const DynamicBitset snap = bits.snapshot();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_TRUE(snap.test(64));
+}
+
+TEST(AtomicBitset, ConcurrentSettersProduceExactUnion) {
+  // Many workers set interleaved, overlapping bit ranges; the snapshot must
+  // be the exact union. This is the TSan coverage for the set-only phase
+  // the shared spanner union relies on.
+  constexpr std::size_t kBits = 4096;
+  AtomicBitset bits(kBits);
+  ThreadPool::global().parallel_for(0, 64, [&](std::size_t task) {
+    for (std::size_t i = task % 3; i < kBits; i += 3) bits.set(i);
+  });
+  const DynamicBitset snap = bits.snapshot();
+  EXPECT_EQ(snap.count(), kBits);
+}
+
 TEST(DynamicBitset, SetAllRespectsSize) {
   DynamicBitset bits(67);
   bits.set_all();

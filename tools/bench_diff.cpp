@@ -1,0 +1,228 @@
+// bench_diff — regression gate over two BENCH_<name>.json reports.
+//
+//   bench_diff <baseline.json> <current.json> [--threshold 0.05]
+//              [--time-threshold 0.5] [--ignore key1,key2]
+//
+// The two reports must be comparable: same bench name, same seed, same
+// params (exit 2 otherwise — diffing different workloads is meaningless).
+// Every numeric value key present in both is then compared:
+//
+//   - timing keys (name contains "seconds"): one-sided — only slower than
+//     baseline * (1 + time-threshold) is a regression; timings are noisy,
+//     so the default gate is loose (50%).
+//   - all other keys: two-sided drift check against --threshold. Benches
+//     run at a fixed seed, so structural outputs (edge counts, exponents)
+//     are deterministic; ANY drift beyond the tolerance means the code
+//     changed behavior, faster or not.
+//
+// Value keys present in the baseline but missing from the current report
+// count as regressions (a measurement silently disappeared). New keys in
+// the current report are reported but do not fail the gate.
+//
+// Exit codes: 0 = ok, 1 = regression(s), 2 = not comparable / IO error.
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json_report.hpp"
+#include "util/options.hpp"
+#include "util/prelude.hpp"
+#include "util/table.hpp"
+
+namespace remspan {
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::optional<double> as_number(const JsonScalar& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return std::nullopt;
+}
+
+std::optional<JsonScalar> find_key(
+    const std::vector<std::pair<std::string, JsonScalar>>& entries, const std::string& key) {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+bool is_timing_key(const std::string& key) {
+  return key.find("seconds") != std::string::npos;
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+constexpr const char* kUsage =
+    "usage: bench_diff <baseline.json> <current.json> [--threshold 0.05]\n"
+    "                  [--time-threshold 0.5] [--ignore key1,key2]\n";
+
+int run(int argc, char** argv) {
+  if (argc > 1 && (std::string(argv[1]) == "--help" || std::string(argv[1]) == "-h")) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (argc < 3 || std::string(argv[1]).rfind("--", 0) == 0 ||
+      std::string(argv[2]).rfind("--", 0) == 0) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  const std::string baseline_path = argv[1];
+  const std::string current_path = argv[2];
+  Options opts(argc - 2, argv + 2);
+  const double threshold = opts.get_double("threshold", 0.05);
+  const double time_threshold = opts.get_double("time-threshold", 0.5);
+  const auto ignored = split_csv(opts.get_string("ignore", ""));
+  if (opts.help_requested()) {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (const auto unknown = opts.unknown_options(); !unknown.empty()) {
+    // A typo'd flag must not silently gate with default thresholds.
+    std::cerr << "bench_diff: unknown option(s):";
+    for (const auto& name : unknown) std::cerr << " --" << name;
+    std::cerr << "\n";
+    return 2;
+  }
+
+  const auto baseline_text = read_file(baseline_path);
+  const auto current_text = read_file(current_path);
+  if (!baseline_text || !current_text) {
+    std::cerr << "bench_diff: cannot read "
+              << (!baseline_text ? baseline_path : current_path) << "\n";
+    return 2;
+  }
+  BenchReport baseline("?");
+  BenchReport current("?");
+  try {
+    baseline = parse_report(*baseline_text);
+    current = parse_report(*current_text);
+  } catch (const CheckError& e) {
+    std::cerr << "bench_diff: malformed report: " << e.what() << "\n";
+    return 2;
+  }
+
+  // Comparability gate: same bench, same seed, same workload params.
+  if (baseline.name() != current.name()) {
+    std::cerr << "bench_diff: bench name mismatch: '" << baseline.name() << "' vs '"
+              << current.name() << "'\n";
+    return 2;
+  }
+  if (baseline.seed() != current.seed()) {
+    std::cerr << "bench_diff: seed mismatch: " << baseline.seed() << " vs " << current.seed()
+              << "\n";
+    return 2;
+  }
+  for (const auto& [key, value] : baseline.params()) {
+    const auto cur = find_key(current.params(), key);
+    if (!cur || !(*cur == value)) {
+      std::cerr << "bench_diff: param '" << key << "' differs ("
+                << json_scalar_to_string(value) << " vs "
+                << (cur ? json_scalar_to_string(*cur) : std::string("<missing>")) << ")\n";
+      return 2;
+    }
+  }
+  // Symmetric check: a param only the current report knows (e.g. a workload
+  // knob added after the baseline was recorded) also means the workloads
+  // are not comparable — the baseline needs refreshing.
+  for (const auto& [key, value] : current.params()) {
+    if (!find_key(baseline.params(), key)) {
+      std::cerr << "bench_diff: param '" << key << "' (" << json_scalar_to_string(value)
+                << ") missing from baseline — refresh the baseline report\n";
+      return 2;
+    }
+  }
+
+  const auto is_ignored = [&](const std::string& key) {
+    for (const auto& k : ignored) {
+      if (k == key) return true;
+    }
+    return false;
+  };
+
+  Table table({"value", "baseline", "current", "delta", "verdict"});
+  std::vector<std::string> regressions;
+  // wall_seconds is a top-level report field, not a values() entry; fold it
+  // into the comparison as a timing key so the one-sided gate covers it
+  // (and so CI's --ignore wall_seconds has a real effect).
+  std::vector<std::pair<std::string, JsonScalar>> baseline_values(baseline.values());
+  std::vector<std::pair<std::string, JsonScalar>> current_values(current.values());
+  baseline_values.emplace_back("wall_seconds", baseline.wall_seconds());
+  current_values.emplace_back("wall_seconds", current.wall_seconds());
+  for (const auto& [key, base_value] : baseline_values) {
+    if (is_ignored(key)) continue;
+    const auto cur_value = find_key(current_values, key);
+    if (!cur_value) {
+      table.add_row({key, json_scalar_to_string(base_value), "<missing>", "-", "REGRESSION"});
+      regressions.push_back(key + " (missing from current report)");
+      continue;
+    }
+    const auto base_num = as_number(base_value);
+    const auto cur_num = as_number(*cur_value);
+    if (!base_num || !cur_num) {
+      // Non-numeric (string) values must match exactly.
+      const bool same = *cur_value == base_value;
+      table.add_row({key, json_scalar_to_string(base_value), json_scalar_to_string(*cur_value),
+                     "-", same ? "ok" : "REGRESSION"});
+      if (!same) regressions.push_back(key + " (string value changed)");
+      continue;
+    }
+    const double denom = std::max(std::abs(*base_num), 1e-12);
+    const double rel = (*cur_num - *base_num) / denom;
+    const bool timing = is_timing_key(key);
+    const bool bad = timing ? rel > time_threshold : std::abs(rel) > threshold;
+    std::ostringstream delta;
+    delta << (rel >= 0 ? "+" : "") << format_double(100.0 * rel, 2) << "%";
+    table.add_row({key, json_scalar_to_string(base_value), json_scalar_to_string(*cur_value),
+                   delta.str(), bad ? "REGRESSION" : "ok"});
+    if (bad) {
+      std::ostringstream why;
+      why << key << " " << delta.str() << " (limit "
+          << format_double(100.0 * (timing ? time_threshold : threshold), 1) << "%"
+          << (timing ? ", one-sided timing" : "") << ")";
+      regressions.push_back(why.str());
+    }
+  }
+  for (const auto& [key, value] : current_values) {
+    if (!is_ignored(key) && !find_key(baseline_values, key)) {
+      table.add_row({key, "<new>", json_scalar_to_string(value), "-", "ok"});
+    }
+  }
+
+  std::cout << "bench_diff: " << baseline.name() << " (seed " << baseline.seed() << ")\n"
+            << "  baseline: " << baseline_path << "\n  current:  " << current_path << "\n\n";
+  table.print(std::cout);
+  if (regressions.empty()) {
+    std::cout << "\nOK — no regression past thresholds (values "
+              << format_double(100.0 * threshold, 1) << "%, timings "
+              << format_double(100.0 * time_threshold, 1) << "% one-sided)\n";
+    return 0;
+  }
+  std::cout << "\n" << regressions.size() << " regression(s):\n";
+  for (const auto& r : regressions) std::cout << "  - " << r << "\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace remspan
+
+int main(int argc, char** argv) { return remspan::run(argc, argv); }
