@@ -1,0 +1,176 @@
+// Dynamic workload — incremental maintenance under churn: on a random
+// geometric network, the per-root locality of the remote-spanner
+// construction means a batch of link/mobility events only dirties the
+// roots within the dependency radius max(1, r+beta-1) of the touched
+// endpoints (IncrementalConfig::dirty_radius). Measured: per
+// churn scenario, the amortized incremental update cost per batch against
+// a from-scratch rebuild on the same snapshot, the dirty-root footprint,
+// and spanner quality over time — with the incremental result asserted
+// bit-exact against the rebuild at every sampled batch.
+//
+// Scenarios (all at the same per-batch churn rate, default 1% of edges):
+//   mobility — a few nodes re-sample their position (geometric locality),
+//   outage   — correlated regional link failures + recovery (locality),
+//   random   — uniform link flapping (no locality; the adversarial case
+//              where most of the graph goes dirty and the incremental
+//              engine degenerates to a rebuild plus bookkeeping).
+#include <cmath>
+
+#include "analysis/kconn_oracle.hpp"
+#include "bench_common.hpp"
+#include "dynamic/churn_trace.hpp"
+#include "dynamic/incremental_spanner.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t batches = 0;
+  std::size_t churned_edges = 0;     // inserted + removed over the run
+  double mean_dirty_roots = 0.0;
+  double mean_spanner_edges = 0.0;
+  std::size_t final_spanner_edges = 0;
+  bool equivalent = true;            // bit-exact vs rebuild at every sample
+  bool stretch_ok = true;            // sampled oracle on the final snapshot
+  double incremental_seconds = 0.0;  // sum over batches
+  double rebuild_seconds = 0.0;      // mean over sampled rebuilds
+};
+
+ScenarioResult run_scenario(const std::string& name, const ChurnTrace& trace,
+                            const IncrementalConfig& cfg, std::size_t rebuild_every,
+                            std::uint64_t seed) {
+  ScenarioResult result;
+  result.name = name;
+  DynamicGraph dg(trace.initial_graph());
+  IncrementalSpanner inc(dg, cfg);
+
+  double sum_dirty = 0.0;
+  double sum_spanner = 0.0;
+  double rebuild_total = 0.0;
+  std::size_t rebuilds = 0;
+  for (std::size_t b = 0; b < trace.batches.size(); ++b) {
+    const ChurnBatchStats stats = inc.apply_batch(trace.batches[b]);
+    result.incremental_seconds += stats.seconds;
+    result.churned_edges += stats.inserted_edges + stats.removed_edges;
+    sum_dirty += static_cast<double>(stats.dirty_roots);
+    sum_spanner += static_cast<double>(stats.spanner_edges);
+    if ((b + 1) % rebuild_every == 0 || b + 1 == trace.batches.size()) {
+      Timer timer;
+      const EdgeSet scratch = cfg.build_full(inc.graph());
+      rebuild_total += timer.seconds();
+      ++rebuilds;
+      result.equivalent = result.equivalent && scratch == inc.spanner();
+    }
+  }
+  result.batches = trace.batches.size();
+  result.mean_dirty_roots = sum_dirty / static_cast<double>(result.batches);
+  result.mean_spanner_edges = sum_spanner / static_cast<double>(result.batches);
+  result.final_spanner_edges = inc.spanner().size();
+  result.rebuild_seconds = rebuild_total / static_cast<double>(rebuilds);
+  // Quality over time: the maintained spanner must still satisfy the
+  // k-connecting stretch guarantee on the final (churned) snapshot.
+  const auto report = check_k_connecting_stretch(inc.graph(), inc.spanner(), cfg.k,
+                                                 Stretch{1.0, 0.0}, 150, seed);
+  result.stretch_ok = report.satisfied;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<std::size_t>(opts.get_int("n", 3200));
+  const double side = opts.get_double("side", 35.0);
+  const auto batches = static_cast<std::size_t>(opts.get_int("batches", 40));
+  const double churn = opts.get_double("churn", 0.01);
+  const auto k = static_cast<Dist>(opts.get_int("k", 1));
+  const auto rebuild_every = static_cast<std::size_t>(opts.get_int("rebuild-every", 8));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  Report report("churn");
+  report.seed(seed);
+  report.param("n", n);
+  report.param("side", side);
+  report.param("batches", batches);
+  report.param("churn", churn);
+  report.param("k", k);
+  report.param("rebuild_every", rebuild_every);
+
+  banner("Dynamic maintenance — incremental remote-spanner under churn",
+         "dirty-radius locality: a batch only rebuilds roots near its touched endpoints");
+
+  Rng rng(seed);
+  const GeometricGraph gg = largest_component(uniform_unit_ball_graph(n, side, 2, rng));
+  const Graph& g = gg.graph;
+  const auto m = g.num_edges();
+  const double target_edges = churn * static_cast<double>(m);
+  std::cout << "workload: n=" << g.num_nodes() << " m=" << m
+            << " avg deg=" << format_double(g.average_degree(), 2) << ", churn target "
+            << format_double(target_edges, 0) << " edges/batch\n\n";
+  report.value("nodes", g.num_nodes());
+  report.value("initial_edges", m);
+
+  const IncrementalConfig cfg = IncrementalConfig::k_connecting(k);
+  const auto movers = static_cast<std::size_t>(
+      std::max(1.0, std::round(target_edges / (2.0 * g.average_degree()))));
+  // Both endpoints must fall inside the outage disk, which shaves roughly
+  // half an edge length off the effective radius; compensate so the outage
+  // batches land near the same churn target as the other scenarios.
+  const double region_radius =
+      side * std::sqrt(churn / 3.14159265358979323846) + 0.5 * gg.radius;
+  const auto random_events = static_cast<std::size_t>(std::max(1.0, std::round(target_edges)));
+
+  const ScenarioResult results[] = {
+      run_scenario("mobility", mobility_churn_trace(gg, batches, movers, 100 * seed + 1), cfg,
+                   rebuild_every, seed),
+      run_scenario("outage", region_outage_trace(gg, batches / 2, region_radius, 100 * seed + 2),
+                   cfg, rebuild_every, seed),
+      run_scenario("random", random_edge_churn_trace(g, batches, random_events, 0.0,
+                                                     100 * seed + 3),
+                   cfg, rebuild_every, seed),
+  };
+
+  Table table({"scenario", "batches", "churn/batch", "dirty roots", "dirty %", "amortized ms",
+               "rebuild ms", "speedup", "|H| final", "bit-exact", "stretch ok"});
+  for (const ScenarioResult& r : results) {
+    const double churn_per_batch =
+        static_cast<double>(r.churned_edges) / static_cast<double>(r.batches);
+    const double amortized = r.incremental_seconds / static_cast<double>(r.batches);
+    const double speedup = r.rebuild_seconds / amortized;
+    const double dirty_pct =
+        100.0 * r.mean_dirty_roots / static_cast<double>(g.num_nodes());
+    table.add_row({r.name, std::to_string(r.batches), format_double(churn_per_batch, 1),
+                   format_double(r.mean_dirty_roots, 1), format_double(dirty_pct, 1),
+                   format_double(1e3 * amortized, 3), format_double(1e3 * r.rebuild_seconds, 3),
+                   format_double(speedup, 2), std::to_string(r.final_spanner_edges),
+                   r.equivalent ? "yes" : "NO", r.stretch_ok ? "yes" : "NO"});
+
+    report.value("churned_edges_" + r.name, r.churned_edges);
+    report.value("mean_dirty_roots_" + r.name, r.mean_dirty_roots);
+    report.value("final_spanner_edges_" + r.name, r.final_spanner_edges);
+    report.value("equivalent_" + r.name, r.equivalent ? 1 : 0);
+    report.value("stretch_ok_" + r.name, r.stretch_ok ? 1 : 0);
+    report.value("amortized_update_seconds_" + r.name, amortized);
+    report.value("rebuild_seconds_" + r.name, r.rebuild_seconds);
+    report.value("speedup_" + r.name, speedup);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nlocality argument: a changed edge {a,b} only affects roots within the\n"
+               "dependency radius max(1, r+beta-1) = "
+            << cfg.dirty_radius()
+            << " hops of a or b (old snapshot for\n"
+               "removals, new for insertions); mobility/outage churn is spatially\n"
+               "concentrated, so the dirty set stays small — uniform random churn is\n"
+               "the worst case by design.\n";
+
+  report.finish();
+  return 0;
+}

@@ -8,6 +8,13 @@
 // Constructions: th1 (low-stretch, --eps), th2 (k-connecting exact, --k),
 // th3 (k-connecting (2,-1), --k), mpr (OLSR), greedy (--t), baswana (--k),
 // full. Verification runs the matching oracle unless --no-verify.
+//
+// Dynamic mode: --churn-trace <file> replays a recorded edge-event list
+// (see src/dynamic/churn_trace.hpp for the format) through the incremental
+// maintenance engine and prints per-batch update stats; the final spanner
+// is checked bit-exact against a from-scratch rebuild (and the matching
+// oracle unless --no-verify). --emit-churn-trace <file> writes a random
+// link-churn trace for the loaded/generated graph to replay later.
 #include <fstream>
 #include <iostream>
 
@@ -18,6 +25,8 @@
 #include "baseline/greedy_spanner.hpp"
 #include "baseline/mpr.hpp"
 #include "core/remote_spanner.hpp"
+#include "dynamic/churn_trace.hpp"
+#include "dynamic/incremental_spanner.hpp"
 #include "geom/ball_graph.hpp"
 #include "geom/synthetic.hpp"
 #include "graph/connectivity.hpp"
@@ -61,6 +70,84 @@ Graph load_or_generate(Options& opts, Rng& rng) {
   std::exit(2);
 }
 
+/// --churn-trace replay: feed every batch through the incremental engine,
+/// print per-batch stats, and check the final spanner bit-exact against a
+/// from-scratch rebuild.
+int run_churn_replay(const std::string& path, const std::string& construction, double eps,
+                     Dist k, bool verify, std::uint64_t seed) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  const ChurnTrace trace = read_churn_trace(in);
+
+  IncrementalConfig cfg;
+  Stretch stretch{1.0, 0.0};
+  if (construction == "th1") {
+    cfg = IncrementalConfig::low_stretch(eps);
+    stretch = Stretch{1.0 + eps, 1.0 - 2.0 * eps};
+  } else if (construction == "th2") {
+    cfg = IncrementalConfig::k_connecting(k);
+  } else if (construction == "th3") {
+    cfg = IncrementalConfig::two_connecting(k == 1 ? 2 : k);
+    stretch = Stretch{2.0, -1.0};
+  } else {
+    std::cerr << "--churn-trace supports --construction th1|th2|th3 (got " << construction
+              << ")\n";
+    return 2;
+  }
+
+  DynamicGraph dg(trace.initial_graph());
+  Timer timer;
+  IncrementalSpanner inc(dg, cfg);
+  const double init_s = timer.seconds();
+  std::cout << "churn replay: " << path << "\n"
+            << "initial graph: n=" << inc.graph().num_nodes() << " m="
+            << inc.graph().num_edges() << ", " << cfg.name() << " spanner built in "
+            << format_double(init_s, 3) << " s (dirty radius " << cfg.dirty_radius() << ")\n\n";
+
+  Table table({"batch", "events", "+edges", "-edges", "dirty roots", "rebuilt", "|H|", "ms"});
+  double total_s = 0.0;
+  std::size_t batch_no = 0;
+  for (const auto& batch : trace.batches) {
+    const ChurnBatchStats stats = inc.apply_batch(batch);
+    total_s += stats.seconds;
+    table.add_row({std::to_string(++batch_no), std::to_string(stats.applied_events),
+                   std::to_string(stats.inserted_edges), std::to_string(stats.removed_edges),
+                   std::to_string(stats.dirty_roots), std::to_string(stats.rebuilt_tree_edges),
+                   std::to_string(stats.spanner_edges), format_double(1e3 * stats.seconds, 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nreplayed " << trace.batches.size() << " batches in "
+            << format_double(total_s, 3) << " s (amortized "
+            << format_double(1e3 * total_s / std::max<std::size_t>(1, trace.batches.size()), 3)
+            << " ms/batch)\n";
+
+  timer.reset();
+  const EdgeSet scratch = cfg.build_full(inc.graph());
+  const bool exact = scratch == inc.spanner();
+  std::cout << "final spanner: " << inc.spanner().size() << " edges; from-scratch rebuild "
+            << format_double(timer.seconds(), 3) << " s; bit-exact: " << (exact ? "yes" : "NO")
+            << "\n";
+  if (!exact) return 1;
+  if (verify) {
+    timer.reset();
+    bool ok = false;
+    if (construction == "th1") {
+      ok = check_remote_stretch(inc.graph(), inc.spanner(), stretch).satisfied;
+    } else {
+      const Dist check_k = construction == "th3" ? 2 : std::max<Dist>(k, 1);
+      ok = check_k_connecting_stretch(inc.graph(), inc.spanner(), check_k, stretch, 300, seed)
+               .satisfied;
+    }
+    std::cout << "oracle on final snapshot: " << (ok ? "satisfied" : "VIOLATED") << " ("
+              << format_double(timer.seconds(), 3) << " s)\n";
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -73,6 +160,11 @@ int main(int argc, char** argv) {
   const std::string dot_path = opts.get_string("dot", "");
   const std::string out_path = opts.get_string("save-graph", "");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  const std::string churn_path = opts.get_string("churn-trace", "");
+  const std::string emit_trace_path = opts.get_string("emit-churn-trace", "");
+  const auto trace_batches = static_cast<std::size_t>(opts.get_int("trace-batches", 20));
+  const auto trace_events = static_cast<std::size_t>(opts.get_int("trace-events", 10));
+  const double trace_node_frac = opts.get_double("trace-node-frac", 0.0);
   Rng rng(seed);
   Graph g = load_or_generate(opts, rng);
   if (opts.help_requested()) {
@@ -81,6 +173,23 @@ int main(int argc, char** argv) {
   }
   for (const auto& unknown : opts.unknown_options()) {
     std::cerr << "warning: unused option --" << unknown << "\n";
+  }
+
+  if (!emit_trace_path.empty()) {
+    const ChurnTrace trace =
+        random_edge_churn_trace(g, trace_batches, trace_events, trace_node_frac, seed);
+    std::ofstream out(emit_trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << emit_trace_path << "\n";
+      return 2;
+    }
+    write_churn_trace(out, trace);
+    std::cout << "churn trace (" << trace.batches.size() << " batches x " << trace_events
+              << " events) written to " << emit_trace_path << "\n";
+    return 0;
+  }
+  if (!churn_path.empty()) {
+    return run_churn_replay(churn_path, construction, eps, k, verify, seed);
   }
 
   std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges() << " maxdeg="

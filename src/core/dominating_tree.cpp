@@ -15,6 +15,11 @@ DomTreeBuilder::DomTreeBuilder(const Graph& g)
       branches_(g.num_nodes()),
       nbr_u_(g.num_nodes(), 0) {}
 
+void DomTreeBuilder::rebind(const Graph& g) {
+  REMSPAN_CHECK(g.num_nodes() == static_cast<NodeId>(in_s_.size()));
+  g_ = &g;
+}
+
 void DomTreeBuilder::add_parent_chain(RootedTree& tree, NodeId x) {
   // Collect the BFS ancestors of x that are not yet in the tree, then attach
   // them top-down. Because every chain comes from the same root BFS, the

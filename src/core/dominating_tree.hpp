@@ -47,6 +47,13 @@ class DomTreeBuilder {
  public:
   explicit DomTreeBuilder(const Graph& g);
 
+  /// Re-targets the builder at a new graph over the same node universe
+  /// (num_nodes must match — all scratch arrays are sized by it). The
+  /// incremental engine rebuilds dirty roots against every new snapshot
+  /// with the same per-worker builders instead of reallocating the O(n)
+  /// scratch each batch.
+  void rebind(const Graph& g);
+
   /// Algorithm 1: (r, beta)-dominating tree for u. Requires r >= 2.
   [[nodiscard]] RootedTree greedy(NodeId u, Dist r, Dist beta);
 

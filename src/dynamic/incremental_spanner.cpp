@@ -1,0 +1,246 @@
+#include "dynamic/incremental_spanner.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "graph/views.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace remspan {
+
+IncrementalConfig IncrementalConfig::r_beta_tree(Dist r, Dist beta, TreeAlgorithm algo) {
+  REMSPAN_CHECK(r >= 2);
+  if (algo == TreeAlgorithm::kMis) REMSPAN_CHECK(beta == 1);
+  IncrementalConfig cfg;
+  cfg.construction = Construction::kRBetaTree;
+  cfg.algo = algo;
+  cfg.r = r;
+  cfg.beta = beta;
+  return cfg;
+}
+
+IncrementalConfig IncrementalConfig::low_stretch(double eps, TreeAlgorithm algo) {
+  return r_beta_tree(domination_radius_for_eps(eps), 1, algo);
+}
+
+IncrementalConfig IncrementalConfig::k_connecting(Dist k) {
+  REMSPAN_CHECK(k >= 1);
+  IncrementalConfig cfg;
+  cfg.construction = Construction::kKConnecting;
+  cfg.r = 2;
+  cfg.beta = 0;
+  cfg.k = k;
+  return cfg;
+}
+
+IncrementalConfig IncrementalConfig::two_connecting(Dist k) {
+  REMSPAN_CHECK(k >= 1);
+  IncrementalConfig cfg;
+  cfg.construction = Construction::k2Connecting;
+  cfg.r = 2;
+  cfg.beta = 1;
+  cfg.k = k;
+  return cfg;
+}
+
+Dist IncrementalConfig::dirty_radius() const noexcept {
+  // Exact dependency radius of the per-root tree builds, max over what the
+  // algorithms actually read (see the header comment): the BFS shells to
+  // depth D = max(r, r-1+beta) depend on edges with an endpoint at depth
+  // <= D-1, and every cover/attachment scan reads edges with an endpoint at
+  // depth <= r-1+beta (a candidate or tree node). For the k-connecting
+  // greedy (r=2, beta=0) this collapses to 1: only edges touching
+  // {u} ∪ N(u) influence relay selection — shell-2-to-shell-2 edges are
+  // never read.
+  return std::max<Dist>(1, r + beta - 1);
+}
+
+RootedTree IncrementalConfig::build_tree(DomTreeBuilder& builder, NodeId root) const {
+  switch (construction) {
+    case Construction::kRBetaTree:
+      return algo == TreeAlgorithm::kMis ? builder.mis(root, r) : builder.greedy(root, r, beta);
+    case Construction::kKConnecting:
+      return builder.greedy_k(root, k);
+    case Construction::k2Connecting:
+      return builder.mis_k(root, k);
+  }
+  detail::check_failed("unknown IncrementalConfig::Construction", std::source_location::current());
+}
+
+EdgeSet IncrementalConfig::build_full(const Graph& g, SpannerBuildInfo* info) const {
+  switch (construction) {
+    case Construction::kRBetaTree:
+      return build_remote_spanner(g, r, beta, algo, info);
+    case Construction::kKConnecting:
+      return build_k_connecting_spanner(g, k, info);
+    case Construction::k2Connecting:
+      return build_2connecting_spanner(g, k, info);
+  }
+  detail::check_failed("unknown IncrementalConfig::Construction", std::source_location::current());
+}
+
+const char* IncrementalConfig::name() const noexcept {
+  switch (construction) {
+    case Construction::kRBetaTree:
+      return algo == TreeAlgorithm::kMis ? "r-beta (mis)" : "r-beta (greedy)";
+    case Construction::kKConnecting:
+      return "k-connecting (1,0)";
+    case Construction::k2Connecting:
+      return "k-connecting (2,1)";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Records one built tree: stores its edges as canonical node pairs into
+/// `out` and bumps the shared refcounts through its recorded parent-edge
+/// ids (valid in the graph the tree was built on).
+std::size_t record_tree(const RootedTree& tree, std::vector<Edge>& out,
+                        std::vector<std::uint32_t>& ref) {
+  out.clear();
+  for (const NodeId v : tree.nodes()) {
+    if (v == tree.root()) continue;
+    out.push_back(make_edge(v, tree.parent(v)));
+    const EdgeId id = tree.parent_edge(v);
+    REMSPAN_CHECK(id != kInvalidEdge);
+    std::atomic_ref<std::uint32_t>(ref[id]).fetch_add(1, std::memory_order_relaxed);
+  }
+  return out.size();
+}
+
+}  // namespace
+
+IncrementalSpanner::IncrementalSpanner(DynamicGraph& graph, IncrementalConfig config)
+    : dynamic_(&graph),
+      config_(config),
+      graph_(graph.snapshot()),
+      version_(graph.version()),
+      spanner_(*graph_),
+      dirty_flag_(graph.num_nodes(), 0),
+      dirty_bfs_(graph.num_nodes()) {
+  builders_.resize(ThreadPool::global().concurrency());
+  full_build();
+}
+
+void IncrementalSpanner::full_build() {
+  const Graph& g = *graph_;
+  trees_.assign(g.num_nodes(), {});
+  ref_.assign(g.num_edges(), 0);
+  for (auto& b : builders_) {
+    if (b == nullptr) {
+      b = std::make_unique<DomTreeBuilder>(g);
+    } else {
+      b->rebind(g);
+    }
+  }
+  ThreadPool::global().parallel_for_workers(
+      0, g.num_nodes(), [&](std::size_t root, std::size_t worker) {
+        const RootedTree tree = config_.build_tree(*builders_[worker], static_cast<NodeId>(root));
+        record_tree(tree, trees_[root], ref_);
+      });
+  rebuild_spanner_bits();
+}
+
+void IncrementalSpanner::rebuild_spanner_bits() {
+  DynamicBitset bits(graph_->num_edges());
+  for (EdgeId id = 0; id < ref_.size(); ++id) {
+    if (ref_[id] > 0) bits.set(id);
+  }
+  spanner_ = EdgeSet(*graph_, std::move(bits));
+}
+
+ChurnBatchStats IncrementalSpanner::apply_batch(std::span<const GraphEvent> events) {
+  Timer timer;
+  ChurnBatchStats stats;
+  stats.applied_events = dynamic_->apply_all(events);
+  stats.version = dynamic_->version();
+  dirty_.clear();
+
+  const std::shared_ptr<const Graph> old_graph = graph_;
+  const std::shared_ptr<const Graph> new_graph = dynamic_->snapshot();
+  const GraphDelta delta = diff_graphs(*old_graph, *new_graph);
+  if (delta.empty()) {
+    // No live-topology change (all no-ops, or updates masked by down
+    // nodes): the spanner — and the old snapshot's id space — stand as-is.
+    stats.spanner_edges = spanner_.size();
+    stats.seconds = timer.seconds();
+    version_ = stats.version;
+    return stats;
+  }
+  stats.removed_edges = delta.removed.size();
+  stats.inserted_edges = delta.inserted.size();
+
+  // Dirty roots: everything within the dirty radius of a touched endpoint
+  // in either snapshot (removals matter at old distances, insertions at
+  // new ones). One multi-source bounded BFS per snapshot.
+  const std::vector<NodeId> touched = touched_endpoints(delta);
+  stats.touched_nodes = touched.size();
+  const Dist radius = config_.dirty_radius();
+  std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
+  for (const NodeId v : dirty_bfs_.run_multi(GraphView(*old_graph), touched, radius)) {
+    dirty_flag_[v] = 1;
+  }
+  for (const NodeId v : dirty_bfs_.run_multi(GraphView(*new_graph), touched, radius)) {
+    dirty_flag_[v] = 1;
+  }
+  for (NodeId v = 0; v < dirty_flag_.size(); ++v) {
+    if (dirty_flag_[v] != 0) dirty_.push_back(v);
+  }
+  stats.dirty_roots = dirty_.size();
+
+  auto& pool = ThreadPool::global();
+
+  // Phase 1 — retire: drop the dirty roots' old tree edges from the
+  // refcount union (still in the old snapshot's id space; the stored node
+  // pairs resolve through the old adjacency).
+  std::atomic<std::size_t> retired{0};
+  pool.parallel_for(0, dirty_.size(), [&](std::size_t i) {
+    const NodeId root = dirty_[i];
+    for (const Edge& e : trees_[root]) {
+      const EdgeId id = old_graph->find_edge(e.u, e.v);
+      REMSPAN_CHECK(id != kInvalidEdge);
+      std::atomic_ref<std::uint32_t>(ref_[id]).fetch_sub(1, std::memory_order_relaxed);
+    }
+    retired.fetch_add(trees_[root].size(), std::memory_order_relaxed);
+  });
+  stats.retired_tree_edges = retired.load();
+
+  // Every tree is contained in its root's dirty ball, so a removed edge
+  // can only have been owned by dirty roots — all retired by now. A
+  // nonzero count here would mean the dirty set missed an owner.
+  for (const EdgeId old_id : delta.removed_old_ids) {
+    REMSPAN_CHECK(ref_[old_id] == 0);
+  }
+
+  // Phase 2 — remap the surviving refcounts into the new id space.
+  std::vector<std::uint32_t> new_ref(new_graph->num_edges(), 0);
+  for (EdgeId old_id = 0; old_id < ref_.size(); ++old_id) {
+    const EdgeId new_id = delta.old_to_new[old_id];
+    if (new_id != kInvalidEdge) new_ref[new_id] = ref_[old_id];
+  }
+  ref_ = std::move(new_ref);
+
+  // Phase 3 — rebuild the dirty roots' trees against the new snapshot on
+  // the pool, re-adding their edges to the refcount union.
+  for (auto& b : builders_) b->rebind(*new_graph);
+  std::atomic<std::size_t> rebuilt{0};
+  pool.parallel_for_workers(0, dirty_.size(), [&](std::size_t i, std::size_t worker) {
+    const NodeId root = dirty_[i];
+    const RootedTree tree = config_.build_tree(*builders_[worker], root);
+    rebuilt.fetch_add(record_tree(tree, trees_[root], ref_), std::memory_order_relaxed);
+  });
+  stats.rebuilt_tree_edges = rebuilt.load();
+
+  // Phase 4 — publish: the spanner is exactly the positively-refcounted
+  // edge set over the new snapshot.
+  graph_ = new_graph;
+  version_ = stats.version;
+  rebuild_spanner_bits();
+  stats.spanner_edges = spanner_.size();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+}  // namespace remspan

@@ -1,0 +1,161 @@
+// IncrementalSpanner: maintains a remote-spanner across a stream of graph
+// updates without rebuilding from scratch.
+//
+// The locality that makes the per-root dominating trees embarrassingly
+// parallel also makes them incrementally maintainable: the tree of root u
+// is a deterministic function of the edges with an endpoint at BFS depth
+// <= dirty_radius() from u (the shells to depth max(r, r-1+beta) are fixed
+// by edges with an endpoint below that depth, and every cover/attachment
+// scan only reads edges incident to a candidate or tree node, all at depth
+// <= r-1+beta). An edge flip {a,b} can therefore only change trees whose
+// root lies within dirty_radius() = max(1, r+beta-1) of a or b (at old
+// distances for removals, new ones for insertions). Per batch of updates
+// the engine
+//
+//   1. diffs the old and new snapshots (diff_graphs: exact edge delta plus
+//      the old-id -> new-id map),
+//   2. expands the dirty-root set with one multi-source bounded BFS of
+//      radius dirty_radius() from the touched endpoints in each snapshot,
+//   3. retires the dirty roots' old tree edges from a per-edge refcount
+//      union (refcount = how many roots' trees currently contain the edge),
+//      remaps the surviving refcounts into the new edge-id space,
+//   4. re-runs only the dirty roots' tree builds on the thread pool and
+//      re-adds their edges, and
+//   5. re-derives the spanner bitset as {e : refcount[e] > 0}.
+//
+// Equivalence guarantee: after every batch the maintained spanner is
+// bit-exact equal to a from-scratch build on the same snapshot
+// (tests/test_incremental_spanner.cpp pins this across graph families,
+// seeds, parameters and batch sizes). Clean roots' trees cannot have
+// changed — every changed edge has both endpoints beyond dirty_radius()
+// from their root in both snapshots, so everything their deterministic
+// tree build reads is identical.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/dominating_tree.hpp"
+#include "core/remote_spanner.hpp"
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/bfs.hpp"
+#include "graph/edge_set.hpp"
+
+namespace remspan {
+
+/// Which spanner construction the engine maintains; mirrors the three
+/// theorem front-ends of core/remote_spanner.hpp.
+struct IncrementalConfig {
+  enum class Construction {
+    kRBetaTree,     // union of (r, beta)-dominating trees (Theorem 1 shape)
+    kKConnecting,   // k-connecting (1,0), greedy k-cover trees (Theorem 2)
+    k2Connecting,   // k-connecting (2,1) trees via k MIS rounds (Theorem 3)
+  };
+
+  Construction construction = Construction::kKConnecting;
+  TreeAlgorithm algo = TreeAlgorithm::kGreedy;  // tree backend for kRBetaTree
+  Dist r = 2;
+  Dist beta = 0;
+  Dist k = 1;
+
+  [[nodiscard]] static IncrementalConfig r_beta_tree(Dist r, Dist beta, TreeAlgorithm algo);
+  /// Theorem 1 front-end: (1+eps, 1-2eps)-remote-spanner.
+  [[nodiscard]] static IncrementalConfig low_stretch(double eps,
+                                                     TreeAlgorithm algo = TreeAlgorithm::kMis);
+  /// Theorem 2 front-end: k-connecting (1,0)-remote-spanner.
+  [[nodiscard]] static IncrementalConfig k_connecting(Dist k);
+  /// Theorem 3 front-end: k-connecting (2,-1)-remote-spanner.
+  [[nodiscard]] static IncrementalConfig two_connecting(Dist k = 2);
+
+  /// A changed edge can only affect roots within this distance of one of
+  /// its endpoints: max(1, r + beta - 1), the exact dependency radius of
+  /// the per-root tree builds (r = 2 for the distance-2 shell
+  /// constructions — radius 1 for the greedy k-cover, whose relay picks
+  /// never read edges between two shell-2 nodes).
+  [[nodiscard]] Dist dirty_radius() const noexcept;
+
+  /// Runs the configured per-root tree algorithm.
+  [[nodiscard]] RootedTree build_tree(DomTreeBuilder& builder, NodeId root) const;
+
+  /// The matching from-scratch construction (the equivalence oracle).
+  [[nodiscard]] EdgeSet build_full(const Graph& g, SpannerBuildInfo* info = nullptr) const;
+
+  [[nodiscard]] const char* name() const noexcept;
+};
+
+/// Per-batch accounting, reported by bench_churn and the remspan_tool
+/// churn-replay mode.
+struct ChurnBatchStats {
+  std::uint64_t version = 0;        // DynamicGraph version after the batch
+  std::size_t applied_events = 0;   // events that actually changed state
+  std::size_t inserted_edges = 0;   // live-edge delta vs previous snapshot
+  std::size_t removed_edges = 0;
+  std::size_t touched_nodes = 0;    // endpoints seeding the dirty expansion
+  std::size_t dirty_roots = 0;      // roots whose trees were rebuilt
+  std::size_t retired_tree_edges = 0;
+  std::size_t rebuilt_tree_edges = 0;
+  std::size_t spanner_edges = 0;    // |H| after the batch
+  double seconds = 0.0;             // wall time of the whole batch
+};
+
+class IncrementalSpanner {
+ public:
+  /// Builds the full spanner on the dynamic graph's current snapshot,
+  /// recording every root's tree edges and the per-edge refcounts. The
+  /// DynamicGraph must outlive the engine.
+  IncrementalSpanner(DynamicGraph& graph, IncrementalConfig config);
+
+  [[nodiscard]] const IncrementalConfig& config() const noexcept { return config_; }
+
+  /// The snapshot the maintained spanner refers to.
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// The maintained remote-spanner over graph().
+  [[nodiscard]] const EdgeSet& spanner() const noexcept { return spanner_; }
+
+  /// Applies a batch of updates to the dynamic graph and patches the
+  /// spanner. Safe to call with an empty or all-no-op batch.
+  ChurnBatchStats apply_batch(std::span<const GraphEvent> events);
+
+  /// Roots rebuilt by the last apply_batch (sorted). A superset of the
+  /// roots whose trees actually changed — tests assert both directions.
+  [[nodiscard]] const std::vector<NodeId>& last_dirty_roots() const noexcept { return dirty_; }
+
+  /// How many roots' trees currently contain edge `id` (current snapshot's
+  /// id space). The spanner contains exactly the edges with refcount > 0.
+  [[nodiscard]] std::uint32_t edge_refcount(EdgeId id) const {
+    REMSPAN_CHECK(id < ref_.size());
+    return ref_[id];
+  }
+
+  /// Current dominating-tree edges of `root` as canonical node pairs.
+  [[nodiscard]] const std::vector<Edge>& tree_edges(NodeId root) const {
+    REMSPAN_CHECK(root < trees_.size());
+    return trees_[root];
+  }
+
+ private:
+  void full_build();
+  void rebuild_spanner_bits();
+
+  DynamicGraph* dynamic_;
+  IncrementalConfig config_;
+  std::shared_ptr<const Graph> graph_;
+  std::uint64_t version_ = 0;
+  /// Per-root tree edges as node pairs: stable across snapshots, so clean
+  /// roots carry zero per-batch cost (edge ids would need remapping).
+  std::vector<std::vector<Edge>> trees_;
+  /// Per-edge tree refcount in the current snapshot's id space. Updated
+  /// concurrently (std::atomic_ref) during the retire/rebuild phases.
+  std::vector<std::uint32_t> ref_;
+  EdgeSet spanner_;
+  std::vector<std::unique_ptr<DomTreeBuilder>> builders_;
+  std::vector<NodeId> dirty_;
+  std::vector<std::uint8_t> dirty_flag_;
+  BoundedBfs dirty_bfs_;
+};
+
+}  // namespace remspan

@@ -30,11 +30,26 @@ class BoundedBfs {
   /// until the next run() call.
   template <NeighborView View>
   const std::vector<NodeId>& run(const View& view, NodeId src, Dist max_depth = kUnreachable) {
-    reset();
     REMSPAN_CHECK(src < view.num_nodes());
-    dist_[src] = 0;
-    parent_[src] = kInvalidNode;
-    order_.push_back(src);
+    return run_multi(view, {&src, 1}, max_depth);
+  }
+
+  /// Multi-source variant: every source starts at distance 0 (shell 0 holds
+  /// the sources, duplicates collapse). dist(v) is the distance to the
+  /// nearest source — this is how the incremental spanner engine expands
+  /// the union of balls around the endpoints touched by a batch of graph
+  /// updates in one pass.
+  template <NeighborView View>
+  const std::vector<NodeId>& run_multi(const View& view, std::span<const NodeId> sources,
+                                       Dist max_depth = kUnreachable) {
+    reset();
+    for (const NodeId src : sources) {
+      REMSPAN_CHECK(src < view.num_nodes());
+      if (dist_[src] != kUnreachable) continue;  // duplicate source
+      dist_[src] = 0;
+      parent_[src] = kInvalidNode;
+      order_.push_back(src);
+    }
     shell_offsets_.push_back(0);  // shell 0 starts at order_[0]
     // order_ doubles as the queue: nodes are appended in BFS order.
     for (std::size_t head = 0; head < order_.size(); ++head) {

@@ -4,6 +4,7 @@
 // are both cheap.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -29,7 +30,23 @@ class EdgeSet {
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
 
   void insert(EdgeId id) { bits_.set(id); }
-  void erase(EdgeId id) { bits_.reset(id); }
+
+  /// Removes an edge by id; the id must be within the underlying graph's
+  /// edge range (same guard discipline as the adopting constructor).
+  void remove(EdgeId id) {
+    REMSPAN_CHECK(id < bits_.size());
+    bits_.reset(id);
+  }
+
+  /// Synonym kept for symmetry with insert(EdgeId).
+  void erase(EdgeId id) { remove(id); }
+
+  /// Removes a whole batch of edge ids (e.g. one retired dominating tree);
+  /// every id is range-checked before any bit is touched.
+  void remove_batch(std::span<const EdgeId> ids) {
+    for (const EdgeId id : ids) REMSPAN_CHECK(id < bits_.size());
+    for (const EdgeId id : ids) bits_.reset(id);
+  }
 
   /// Inserts edge {a,b}; the edge must exist in the underlying graph.
   void insert(NodeId a, NodeId b) {

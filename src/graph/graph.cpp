@@ -16,9 +16,7 @@ void GraphBuilder::add_edge(NodeId a, NodeId b) {
 
 Graph GraphBuilder::build() const {
   std::vector<Edge> edges = edges_;
-  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
-    return x.u != y.u ? x.u < y.u : x.v < y.v;
-  });
+  std::sort(edges.begin(), edges.end());  // Edge orders lexicographically: canonical order
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
   return Graph::from_canonical_edges(num_nodes_, std::move(edges));
 }
@@ -27,8 +25,12 @@ Graph Graph::from_canonical_edges(NodeId num_nodes, std::vector<Edge> edges) {
   Graph g;
   g.edges_ = std::move(edges);
   g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
-  for (const Edge& e : g.edges_) {
+  for (std::size_t i = 0; i < g.edges_.size(); ++i) {
+    const Edge& e = g.edges_[i];
     REMSPAN_CHECK(e.u < e.v && e.v < num_nodes);
+    // The contract requires the list sorted and deduplicated; adjacency-row
+    // sortedness below depends on it, so enforce rather than assume.
+    REMSPAN_CHECK(i == 0 || g.edges_[i - 1] < e);
     ++g.offsets_[e.u + 1];
     ++g.offsets_[e.v + 1];
   }
@@ -38,6 +40,12 @@ Graph Graph::from_canonical_edges(NodeId num_nodes, std::vector<Edge> edges) {
   g.adj_.resize(2 * g.edges_.size());
   g.adj_edge_ids_.resize(2 * g.edges_.size());
   std::vector<std::size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  // One scan in canonical order leaves every adjacency row sorted by
+  // neighbor id, no per-row sort needed: node x first receives its
+  // neighbors u < x (from edges (u,x), scanned in ascending u), then its
+  // neighbors w > x (from edges (x,w), ascending w) — two ascending runs
+  // whose values straddle x. This keeps snapshot construction cheap enough
+  // for the dynamic-update path, which rebuilds the CSR every batch.
   for (EdgeId id = 0; id < g.edges_.size(); ++id) {
     const Edge& e = g.edges_[id];
     g.adj_[cursor[e.u]] = e.v;
@@ -45,19 +53,8 @@ Graph Graph::from_canonical_edges(NodeId num_nodes, std::vector<Edge> edges) {
     g.adj_[cursor[e.v]] = e.u;
     g.adj_edge_ids_[cursor[e.v]++] = id;
   }
-  // Sort each adjacency row by neighbor id, keeping edge ids aligned.
   for (NodeId u = 0; u < num_nodes; ++u) {
-    const std::size_t lo = g.offsets_[u];
-    const std::size_t hi = g.offsets_[u + 1];
-    std::vector<std::pair<NodeId, EdgeId>> row;
-    row.reserve(hi - lo);
-    for (std::size_t i = lo; i < hi; ++i) row.emplace_back(g.adj_[i], g.adj_edge_ids_[i]);
-    std::sort(row.begin(), row.end());
-    for (std::size_t i = lo; i < hi; ++i) {
-      g.adj_[i] = row[i - lo].first;
-      g.adj_edge_ids_[i] = row[i - lo].second;
-    }
-    g.max_degree_ = std::max(g.max_degree_, static_cast<Dist>(hi - lo));
+    g.max_degree_ = std::max(g.max_degree_, static_cast<Dist>(g.offsets_[u + 1] - g.offsets_[u]));
   }
   return g;
 }

@@ -14,12 +14,14 @@
 
 namespace remspan {
 
-/// Canonical undirected edge: u < v always holds.
+/// Canonical undirected edge: u < v always holds. Ordering is
+/// lexicographic on (u, v), i.e. the canonical edge-list order.
 struct Edge {
   NodeId u = kInvalidNode;
   NodeId v = kInvalidNode;
 
   friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
 };
 
 /// Normalizes an endpoint pair into canonical form.

@@ -17,6 +17,18 @@ void AtomicBitset::or_batch(std::vector<std::uint32_t>& bits) {
   }
 }
 
+void AtomicBitset::clear_batch(std::vector<std::uint32_t>& bits) {
+  std::sort(bits.begin(), bits.end());
+  for (std::size_t i = 0; i < bits.size();) {
+    const std::size_t w = bits[i] >> 6;
+    std::uint64_t mask = 0;
+    for (; i < bits.size() && (bits[i] >> 6) == w; ++i) {
+      mask |= std::uint64_t{1} << (bits[i] & 63);
+    }
+    words_[w].fetch_and(~mask, std::memory_order_relaxed);
+  }
+}
+
 DynamicBitset DynamicBitset::from_words(std::size_t bits, std::vector<std::uint64_t> words) {
   REMSPAN_CHECK(words.size() == (bits + 63) / 64);
   DynamicBitset out;
@@ -41,6 +53,12 @@ DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   REMSPAN_CHECK(bits_ == other.bits_);
   for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  REMSPAN_CHECK(bits_ == other.bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   return *this;
 }
 

@@ -59,9 +59,11 @@ class DynamicBitset {
 
   [[nodiscard]] std::size_t count() const noexcept;
 
-  /// Bitwise union / intersection; both operands must have equal size.
+  /// Bitwise union / intersection / difference (and-not); both operands
+  /// must have equal size.
   DynamicBitset& operator|=(const DynamicBitset& other);
   DynamicBitset& operator&=(const DynamicBitset& other);
+  DynamicBitset& operator-=(const DynamicBitset& other);
 
   [[nodiscard]] bool operator==(const DynamicBitset& other) const noexcept {
     return bits_ == other.bits_ && words_ == other.words_;
@@ -111,6 +113,10 @@ class AtomicBitset {
     words_[i >> 6].fetch_or(std::uint64_t{1} << (i & 63), std::memory_order_relaxed);
   }
 
+  void clear(std::size_t i) noexcept {
+    words_[i >> 6].fetch_and(~(std::uint64_t{1} << (i & 63)), std::memory_order_relaxed);
+  }
+
   /// ORs a whole prepared word in one RMW — the word-level batching hook:
   /// callers accumulate the bits of one logical unit (e.g. one dominating
   /// tree) into plain masks and pay one atomic op per touched word.
@@ -123,6 +129,14 @@ class AtomicBitset {
   /// same-word bits merge into one plain mask, so each touched word costs
   /// exactly one relaxed RMW.
   void or_batch(std::vector<std::uint32_t>& bits);
+
+  /// Clears a batch of bit indices with the same word-level discipline as
+  /// or_batch: one relaxed fetch_and per touched word. The retire mirror of
+  /// or_batch for many-writer clear phases (concurrent disjoint clears are
+  /// exact — see test_util.cpp); the incremental spanner engine itself
+  /// retires through per-edge refcounts instead, since a bit carries no
+  /// owner count.
+  void clear_batch(std::vector<std::uint32_t>& bits);
 
   [[nodiscard]] bool test(std::size_t i) const noexcept {
     return (words_[i >> 6].load(std::memory_order_relaxed) >> (i & 63)) & 1u;

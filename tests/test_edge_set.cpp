@@ -95,6 +95,43 @@ TEST(EdgeSet, EraseRemoves) {
   EXPECT_EQ(h.size(), 1u);
 }
 
+TEST(EdgeSet, RemoveDropsEdgeById) {
+  const Graph g = cycle_graph(6);
+  EdgeSet h(g, true);
+  h.remove(g.find_edge(2, 3));
+  EXPECT_FALSE(h.contains(2, 3));
+  EXPECT_EQ(h.size(), g.num_edges() - 1);
+  h.remove(g.find_edge(2, 3));  // idempotent
+  EXPECT_EQ(h.size(), g.num_edges() - 1);
+}
+
+TEST(EdgeSet, RemoveOutOfRangeTripsCheck) {
+  const Graph g = path_graph(4);
+  EdgeSet h(g, true);
+  EXPECT_THROW(h.remove(static_cast<EdgeId>(g.num_edges())), CheckError);
+  EXPECT_THROW(h.remove(kInvalidEdge), CheckError);
+}
+
+TEST(EdgeSet, RemoveBatchMatchesIndividualRemovals) {
+  Rng rng(33);
+  const Graph g = gnp(40, 0.2, rng);
+  EdgeSet batch_removed(g, true);
+  EdgeSet single_removed(g, true);
+  std::vector<EdgeId> ids;
+  for (EdgeId id = 0; id < g.num_edges(); id += 3) ids.push_back(id);
+  batch_removed.remove_batch(ids);
+  for (const EdgeId id : ids) single_removed.remove(id);
+  EXPECT_EQ(batch_removed, single_removed);
+  EXPECT_EQ(batch_removed.size(), g.num_edges() - ids.size());
+}
+
+TEST(EdgeSet, RemoveBatchOutOfRangeTripsCheck) {
+  const Graph g = path_graph(5);
+  EdgeSet h(g, true);
+  const std::vector<EdgeId> ids = {0, static_cast<EdgeId>(g.num_edges())};
+  EXPECT_THROW(h.remove_batch(ids), CheckError);
+}
+
 TEST(EdgeSet, EqualityComparesContent) {
   const Graph g = cycle_graph(4);
   EdgeSet a(g);

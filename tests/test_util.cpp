@@ -195,6 +195,80 @@ TEST(DynamicBitset, SizeMismatchedIntersectionTripsCheck) {
   EXPECT_THROW(b &= a, CheckError);
 }
 
+TEST(DynamicBitset, DifferenceClearsOtherBits) {
+  DynamicBitset a(70);
+  DynamicBitset b(70);
+  a.set(1);
+  a.set(64);
+  a.set(69);
+  b.set(64);
+  b.set(2);
+  a -= b;
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_TRUE(a.test(1));
+  EXPECT_FALSE(a.test(64));
+  EXPECT_TRUE(a.test(69));
+}
+
+TEST(DynamicBitset, SizeMismatchedDifferenceTripsCheck) {
+  DynamicBitset a(128);
+  DynamicBitset b(127);
+  EXPECT_THROW(a -= b, CheckError);
+  EXPECT_THROW(b -= a, CheckError);
+}
+
+TEST(AtomicBitset, ClearDropsSingleBits) {
+  AtomicBitset bits(130);
+  bits.set(0);
+  bits.set(64);
+  bits.set(129);
+  bits.clear(64);
+  bits.clear(1);  // clearing an unset bit is a no-op
+  const DynamicBitset snap = bits.snapshot();
+  EXPECT_EQ(snap.count(), 2u);
+  EXPECT_TRUE(snap.test(0));
+  EXPECT_FALSE(snap.test(64));
+  EXPECT_TRUE(snap.test(129));
+}
+
+TEST(AtomicBitset, ClearBatchMirrorsOrBatch) {
+  // clear_batch must retire exactly the bits or_batch published, with the
+  // same word-level batching discipline (indices sorted in place, one RMW
+  // per touched word).
+  constexpr std::size_t kBits = 1000;
+  AtomicBitset bits(kBits);
+  std::vector<std::uint32_t> published;
+  for (std::uint32_t i = 0; i < kBits; i += 7) published.push_back(i);
+  std::vector<std::uint32_t> shuffled(published.rbegin(), published.rend());
+  bits.or_batch(shuffled);
+  std::vector<std::uint32_t> retire;
+  for (std::uint32_t i = 0; i < kBits; i += 14) retire.push_back(i);
+  bits.clear_batch(retire);
+  const DynamicBitset snap = bits.snapshot();
+  for (const std::uint32_t i : published) {
+    EXPECT_EQ(snap.test(i), i % 14 != 0) << "bit " << i;
+  }
+}
+
+TEST(AtomicBitset, ConcurrentDisjointClearsProduceExactDifference) {
+  // Workers concurrently retire disjoint bit ranges from a full bitset;
+  // relaxed fetch_and must lose nothing (TSan coverage for the refcounted
+  // union's retire phase).
+  constexpr std::size_t kBits = 4096;
+  AtomicBitset bits(kBits);
+  for (std::size_t i = 0; i < kBits; ++i) bits.set(i);
+  ThreadPool::global().parallel_for(0, 64, [&](std::size_t task) {
+    std::vector<std::uint32_t> mine;
+    for (std::size_t i = task; i < kBits; i += 128) mine.push_back(static_cast<std::uint32_t>(i));
+    bits.clear_batch(mine);
+  });
+  const DynamicBitset snap = bits.snapshot();
+  // Tasks 0..63 cleared residues 0..63 mod 128; residues 64..127 survive.
+  EXPECT_EQ(snap.count(), kBits / 2);
+  EXPECT_FALSE(snap.test(0));
+  EXPECT_TRUE(snap.test(64));
+}
+
 TEST(Fit, ExactLine) {
   const std::vector<double> xs{1, 2, 3, 4};
   const std::vector<double> ys{3, 5, 7, 9};  // y = 2x + 1
