@@ -1,0 +1,212 @@
+// Dynamic workload — protocol-level reconvergence under churn: what the
+// remote-spanner's locality buys a *running* link-state protocol. Per churn
+// batch the round simulator measures the cost of re-converging the
+// distributed state (rounds, messages, bytes on the wire) for
+//
+//   remspan_inc     — scoped incremental re-advertisement: only the nodes
+//                     within the flood scope of a touched endpoint (the
+//                     dirty ball of src/dynamic) re-flood lists and trees,
+//   remspan_reflood — the strawman: every node cold-starts Algorithm
+//                     RemSpan on the new snapshot each batch,
+//   mpr_inc         — the OLSR multipoint-relay baseline riding the same
+//                     scoped pipeline (scope 1, RFC 3626 selection).
+//
+// Every count is deterministic at fixed seed (single-threaded simulator),
+// so the committed baseline gates all values hard; only wall time is
+// ignored. The incremental strategies are checked to converge to exactly
+// the centralized construction on the final snapshot.
+#include <cmath>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/mpr.hpp"
+#include "bench_common.hpp"
+#include "core/remote_spanner.hpp"
+#include "dynamic/churn_trace.hpp"
+#include "sim/reconvergence.hpp"
+
+using namespace remspan;
+using namespace remspan::bench;
+
+namespace {
+
+struct StrategyCase {
+  std::string name;  // JSON key fragment
+  RemSpanConfig cfg;
+  ReconvergeStrategy strategy = ReconvergeStrategy::kIncremental;
+};
+
+struct StrategyResult {
+  std::vector<ReconvergeBatchStats> batches;
+  ReconvergeBatchStats initial;
+  std::size_t final_spanner_edges = 0;
+  bool equivalent = false;  // final spanner == centralized construction
+};
+
+EdgeSet centralized(const Graph& g, const RemSpanConfig& cfg) {
+  if (cfg.kind == RemSpanConfig::Kind::kOlsrMpr) return olsr_mpr_spanner(g);
+  return build_k_connecting_spanner(g, cfg.k);
+}
+
+StrategyResult replay(const ChurnTrace& trace, const StrategyCase& c) {
+  StrategyResult result;
+  ReconvergenceSim sim(trace.initial_graph(), c.cfg, c.strategy);
+  result.initial = sim.initial_stats();
+  for (const auto& batch : trace.batches) {
+    result.batches.push_back(sim.apply_batch(batch));
+  }
+  result.final_spanner_edges = sim.spanner().size();
+  result.equivalent =
+      sim.spanner().edge_list() == centralized(sim.graph(), c.cfg).edge_list();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const auto n = static_cast<std::size_t>(opts.get_int("n", 400));
+  const double side = opts.get_double("side", 12.5);
+  // At least one mobility batch and one outage/recovery pair: zero-batch
+  // scenarios would divide by zero in the per-batch means below.
+  const auto batches =
+      std::max<std::size_t>(1, static_cast<std::size_t>(opts.get_int("batches", 6)));
+  const double churn = opts.get_double("churn", 0.01);
+  const auto k = static_cast<Dist>(opts.get_int("k", 1));
+  const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
+  if (opts.help_requested()) {
+    std::cout << opts.usage();
+    return 0;
+  }
+
+  Report report("reconvergence");
+  report.seed(seed);
+  report.param("n", n);
+  report.param("side", side);
+  report.param("batches", batches);
+  report.param("churn", churn);
+  report.param("k", k);
+
+  banner("Protocol reconvergence under churn — scoped re-advertisement vs full re-flood",
+         "dirty-ball locality: a batch only makes the nodes near its touched endpoints re-advertise");
+
+  Rng rng(seed);
+  const GeometricGraph gg = largest_component(uniform_unit_ball_graph(n, side, 2, rng));
+  const Graph& g = gg.graph;
+  const auto m = g.num_edges();
+  const double target_edges = churn * static_cast<double>(m);
+  std::cout << "workload: n=" << g.num_nodes() << " m=" << m
+            << " avg deg=" << format_double(g.average_degree(), 2) << ", churn target "
+            << format_double(target_edges, 0) << " edges/batch\n\n";
+  report.value("nodes", g.num_nodes());
+  report.value("initial_edges", m);
+
+  const auto movers = static_cast<std::size_t>(
+      std::max(1.0, std::round(target_edges / (2.0 * g.average_degree()))));
+  const double region_radius =
+      side * std::sqrt(churn / 3.14159265358979323846) + 0.5 * gg.radius;
+
+  RemSpanConfig remspan_cfg;
+  remspan_cfg.kind = RemSpanConfig::Kind::kKConnGreedy;
+  remspan_cfg.k = k;
+  RemSpanConfig mpr_cfg;
+  mpr_cfg.kind = RemSpanConfig::Kind::kOlsrMpr;
+
+  const StrategyCase cases[] = {
+      {"remspan_inc", remspan_cfg, ReconvergeStrategy::kIncremental},
+      {"remspan_reflood", remspan_cfg, ReconvergeStrategy::kFullReflood},
+      {"mpr_inc", mpr_cfg, ReconvergeStrategy::kIncremental},
+      {"mpr_reflood", mpr_cfg, ReconvergeStrategy::kFullReflood},
+  };
+  const std::pair<std::string, ChurnTrace> scenarios[] = {
+      {"mobility", mobility_churn_trace(gg, batches, movers, 100 * seed + 1)},
+      {"outage", region_outage_trace(gg, std::max<std::size_t>(1, batches / 2), region_radius,
+                                     100 * seed + 2)},
+  };
+
+  bool all_equivalent = true;
+  Table per_batch({"scenario", "strategy", "batch", "+e", "-e", "adv", "rounds", "msgs",
+                   "words", "bytes"});
+  Table summary({"scenario", "strategy", "batches", "rounds", "msgs total", "KB total",
+                 "msgs/batch", "vs reflood", "|H| final", "exact"});
+
+  for (const auto& [scenario, trace] : scenarios) {
+    // Replay every strategy first: the summary's ratio column compares each
+    // incremental run against its own protocol's re-flood strawman.
+    std::vector<StrategyResult> results;
+    std::map<RemSpanConfig::Kind, std::uint64_t> reflood_msgs;
+    for (const StrategyCase& c : cases) {
+      results.push_back(replay(trace, c));
+      if (c.strategy == ReconvergeStrategy::kFullReflood) {
+        std::uint64_t msgs = 0;
+        for (const auto& b : results.back().batches) msgs += b.transmissions;
+        reflood_msgs[c.cfg.kind] = msgs;
+      }
+    }
+    for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
+      const StrategyCase& c = cases[ci];
+      const StrategyResult& r = results[ci];
+      all_equivalent = all_equivalent && r.equivalent;
+
+      std::uint64_t total_msgs = 0;
+      std::uint64_t total_bytes = 0;
+      std::uint64_t total_rounds = 0;
+      double sum_adv = 0.0;
+      for (const auto& b : r.batches) {
+        total_msgs += b.transmissions;
+        total_bytes += b.wire_bytes;
+        total_rounds += b.rounds;
+        sum_adv += static_cast<double>(b.advertising_nodes);
+        const std::string prefix =
+            scenario + "_" + c.name + "_b" + std::to_string(b.batch);
+        report.value(prefix + "_rounds", b.rounds);
+        report.value(prefix + "_msgs", b.transmissions);
+        report.value(prefix + "_bytes", b.wire_bytes);
+        per_batch.add_row({scenario, c.name, std::to_string(b.batch),
+                           std::to_string(b.inserted_edges), std::to_string(b.removed_edges),
+                           std::to_string(b.advertising_nodes), std::to_string(b.rounds),
+                           std::to_string(b.transmissions), std::to_string(b.payload_words),
+                           std::to_string(b.wire_bytes)});
+      }
+      const double msgs_per_batch =
+          static_cast<double>(total_msgs) / static_cast<double>(r.batches.size());
+      const std::uint64_t strawman = reflood_msgs[c.cfg.kind];
+      const std::string ratio =
+          strawman == 0 ? "1.00"
+                        : format_double(static_cast<double>(total_msgs) /
+                                            static_cast<double>(strawman),
+                                        2);
+      summary.add_row({scenario, c.name, std::to_string(r.batches.size()),
+                       std::to_string(total_rounds), std::to_string(total_msgs),
+                       format_double(static_cast<double>(total_bytes) / 1024.0, 1),
+                       format_double(msgs_per_batch, 1), ratio,
+                       std::to_string(r.final_spanner_edges), r.equivalent ? "yes" : "NO"});
+
+      const std::string prefix = scenario + "_" + c.name;
+      report.value(prefix + "_total_rounds", total_rounds);
+      report.value(prefix + "_total_msgs", total_msgs);
+      report.value(prefix + "_total_bytes", total_bytes);
+      report.value(prefix + "_mean_advertisers",
+                   sum_adv / static_cast<double>(r.batches.size()));
+      report.value(prefix + "_final_spanner_edges", r.final_spanner_edges);
+      report.value(prefix + "_equivalent", r.equivalent ? 1 : 0);
+      report.value(prefix + "_initial_msgs", r.initial.transmissions);
+    }
+  }
+
+  std::cout << "per-batch reconvergence cost:\n";
+  per_batch.print(std::cout);
+  std::cout << "\nsummary ('vs reflood' = message volume relative to the same protocol's\n"
+               "cold-start strawman in the same scenario):\n";
+  summary.print(std::cout);
+  std::cout << "\nreading: the incremental strategies pay only for the dirty ball around\n"
+               "each batch's touched endpoints, while the re-flood strawman pays the\n"
+               "full n-node advertisement cost every batch — yet all strategies end on\n"
+               "the identical converged spanner ('exact' column, checked against the\n"
+               "centralized construction).\n";
+
+  report.value("all_equivalent", all_equivalent ? 1 : 0);
+  report.finish();
+  return all_equivalent ? 0 : 1;
+}

@@ -51,6 +51,11 @@ int main(int argc, char** argv) {
     }
     {
       RemSpanConfig c;
+      c.kind = RemSpanConfig::Kind::kOlsrMpr;
+      cases.push_back({"OLSR MPR union [RFC 3626]", c});
+    }
+    {
+      RemSpanConfig c;
       c.kind = RemSpanConfig::Kind::kLowStretchMis;
       c.r = 3;  // eps = 1/2
       cases.push_back({"(1.5,0)-rem-span [Th.1 eps=.5]", c});

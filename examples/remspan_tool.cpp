@@ -15,6 +15,12 @@
 // is checked bit-exact against a from-scratch rebuild (and the matching
 // oracle unless --no-verify). --emit-churn-trace <file> writes a random
 // link-churn trace for the loaded/generated graph to replay later.
+//
+// Protocol mode: --churn-trace <file> --reconverge replays the same trace
+// at the protocol level (src/sim/reconvergence.hpp): per batch it reports
+// the rounds, messages and bytes the scoped incremental re-advertisement
+// needs to re-converge, next to the full-re-flood strawman, and checks both
+// end on the centralized construction bit-exact.
 #include <fstream>
 #include <iostream>
 
@@ -27,10 +33,12 @@
 #include "core/remote_spanner.hpp"
 #include "dynamic/churn_trace.hpp"
 #include "dynamic/incremental_spanner.hpp"
+#include "core/params.hpp"
 #include "geom/ball_graph.hpp"
 #include "geom/synthetic.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/graphio.hpp"
+#include "sim/reconvergence.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -73,14 +81,28 @@ Graph load_or_generate(Options& opts, Rng& rng) {
 /// --churn-trace replay: feed every batch through the incremental engine,
 /// print per-batch stats, and check the final spanner bit-exact against a
 /// from-scratch rebuild.
-int run_churn_replay(const std::string& path, const std::string& construction, double eps,
-                     Dist k, bool verify, std::uint64_t seed) {
+/// Loads a trace file, mapping I/O and parse failures to exit code 2
+/// (reported via the bool). read_churn_trace throws CheckError on
+/// malformed input.
+bool load_trace(const std::string& path, ChurnTrace& trace) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "cannot open " << path << "\n";
-    return 2;
+    return false;
   }
-  const ChurnTrace trace = read_churn_trace(in);
+  try {
+    trace = read_churn_trace(in);
+  } catch (const CheckError& e) {
+    std::cerr << "malformed churn trace " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
+int run_churn_replay(const std::string& path, const std::string& construction, double eps,
+                     Dist k, bool verify, std::uint64_t seed) {
+  ChurnTrace trace;
+  if (!load_trace(path, trace)) return 2;
 
   IncrementalConfig cfg;
   Stretch stretch{1.0, 0.0};
@@ -148,6 +170,90 @@ int run_churn_replay(const std::string& path, const std::string& construction, d
   return 0;
 }
 
+/// --churn-trace --reconverge: replay the trace at the protocol level and
+/// report the per-batch reconvergence cost of scoped incremental
+/// re-advertisement against the full-re-flood strawman.
+int run_reconverge(const std::string& path, const std::string& construction, double eps, Dist k,
+                   bool verify) {
+  ChurnTrace trace;
+  if (!load_trace(path, trace)) return 2;
+
+  RemSpanConfig cfg;
+  if (construction == "th1") {
+    cfg.kind = RemSpanConfig::Kind::kLowStretchMis;
+    cfg.r = domination_radius_for_eps(eps);
+  } else if (construction == "th2") {
+    cfg.kind = RemSpanConfig::Kind::kKConnGreedy;
+    cfg.k = k;
+  } else if (construction == "th3") {
+    cfg.kind = RemSpanConfig::Kind::kKConnMis;
+    cfg.k = k == 1 ? 2 : k;
+  } else if (construction == "mpr") {
+    cfg.kind = RemSpanConfig::Kind::kOlsrMpr;
+  } else {
+    std::cerr << "--reconverge supports --construction th1|th2|th3|mpr (got " << construction
+              << ")\n";
+    return 2;
+  }
+
+  const Graph initial = trace.initial_graph();
+  ReconvergenceSim inc(initial, cfg, ReconvergeStrategy::kIncremental);
+  ReconvergenceSim ref(initial, cfg, ReconvergeStrategy::kFullReflood);
+  const auto& init = inc.initial_stats();
+  std::cout << "protocol reconvergence replay: " << path << "\n"
+            << "initial graph: n=" << initial.num_nodes() << " m=" << initial.num_edges()
+            << ", protocol " << cfg.kind_name() << " (scope " << cfg.flood_scope()
+            << "), cold start: " << init.rounds << " rounds, " << init.transmissions
+            << " msgs, " << init.wire_bytes << " B\n\n";
+
+  Table table({"batch", "events", "+edges", "-edges", "advertisers", "rounds", "msgs",
+               "bytes", "reflood msgs", "saved"});
+  std::size_t batch_no = 0;
+  std::uint64_t inc_msgs = 0;
+  std::uint64_t ref_msgs = 0;
+  for (const auto& batch : trace.batches) {
+    const ReconvergeBatchStats a = inc.apply_batch(batch);
+    const ReconvergeBatchStats b = ref.apply_batch(batch);
+    inc_msgs += a.transmissions;
+    ref_msgs += b.transmissions;
+    const double saved =
+        b.transmissions == 0
+            ? 0.0
+            : 100.0 * (1.0 - static_cast<double>(a.transmissions) /
+                                 static_cast<double>(b.transmissions));
+    table.add_row({std::to_string(++batch_no), std::to_string(a.applied_events),
+                   std::to_string(a.inserted_edges), std::to_string(a.removed_edges),
+                   std::to_string(a.advertising_nodes), std::to_string(a.rounds),
+                   std::to_string(a.transmissions), std::to_string(a.wire_bytes),
+                   std::to_string(b.transmissions), format_double(saved, 1) + "%"});
+  }
+  table.print(std::cout);
+  std::cout << "\nreplayed " << trace.batches.size() << " batches: " << inc_msgs
+            << " incremental msgs vs " << ref_msgs << " re-flood msgs\n";
+
+  const bool same = inc.spanner().edge_list() == ref.spanner().edge_list();
+  std::cout << "incremental converged state == full re-flood: " << (same ? "yes" : "NO") << "\n";
+  if (!same) return 1;
+  if (verify) {
+    EdgeSet central = [&] {
+      switch (cfg.kind) {
+        case RemSpanConfig::Kind::kLowStretchMis:
+          return build_remote_spanner(inc.graph(), cfg.r, 1, TreeAlgorithm::kMis);
+        case RemSpanConfig::Kind::kKConnMis:
+          return build_2connecting_spanner(inc.graph(), cfg.k);
+        case RemSpanConfig::Kind::kOlsrMpr:
+          return olsr_mpr_spanner(inc.graph());
+        default:
+          return build_k_connecting_spanner(inc.graph(), cfg.k);
+      }
+    }();
+    const bool exact = inc.spanner() == central;
+    std::cout << "final spanner == centralized construction: " << (exact ? "yes" : "NO") << "\n";
+    if (!exact) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -161,6 +267,7 @@ int main(int argc, char** argv) {
   const std::string out_path = opts.get_string("save-graph", "");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
   const std::string churn_path = opts.get_string("churn-trace", "");
+  const bool reconverge = opts.get_flag("reconverge");
   const std::string emit_trace_path = opts.get_string("emit-churn-trace", "");
   const auto trace_batches = static_cast<std::size_t>(opts.get_int("trace-batches", 20));
   const auto trace_events = static_cast<std::size_t>(opts.get_int("trace-events", 10));
@@ -189,7 +296,12 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (!churn_path.empty()) {
+    if (reconverge) return run_reconverge(churn_path, construction, eps, k, verify);
     return run_churn_replay(churn_path, construction, eps, k, verify, seed);
+  }
+  if (reconverge) {
+    std::cerr << "--reconverge needs --churn-trace <file>\n";
+    return 2;
   }
 
   std::cout << "graph: n=" << g.num_nodes() << " m=" << g.num_edges() << " maxdeg="

@@ -30,10 +30,11 @@
 namespace remspan {
 
 struct ChurnTrace {
-  NodeId num_nodes = 0;
-  std::vector<Edge> initial_edges;  // canonical order
-  std::vector<std::vector<GraphEvent>> batches;
+  NodeId num_nodes = 0;             ///< fixed node universe of the trace
+  std::vector<Edge> initial_edges;  ///< initial topology, canonical order
+  std::vector<std::vector<GraphEvent>> batches;  ///< event batches, applied in order
 
+  /// Materializes the initial topology as an immutable CSR Graph.
   [[nodiscard]] Graph initial_graph() const;
 
   friend bool operator==(const ChurnTrace&, const ChurnTrace&) = default;

@@ -27,8 +27,8 @@ enum class GraphEventKind : std::uint8_t { kEdgeUp, kEdgeDown, kNodeUp, kNodeDow
 
 struct GraphEvent {
   GraphEventKind kind = GraphEventKind::kEdgeUp;
-  NodeId u = kInvalidNode;
-  NodeId v = kInvalidNode;
+  NodeId u = kInvalidNode;  ///< canonical lower endpoint (or the node, for node events)
+  NodeId v = kInvalidNode;  ///< canonical upper endpoint (kInvalidNode for node events)
 
   [[nodiscard]] static GraphEvent edge_up(NodeId a, NodeId b) {
     const Edge e = make_edge(a, b);
@@ -117,10 +117,10 @@ class DynamicGraph {
 
 /// Exact delta between two canonical snapshots of the same node universe.
 struct GraphDelta {
-  std::vector<Edge> removed;              // in old, not in new
-  std::vector<EdgeId> removed_old_ids;    // parallel to removed
-  std::vector<Edge> inserted;             // in new, not in old
-  std::vector<EdgeId> inserted_new_ids;   // parallel to inserted
+  std::vector<Edge> removed;              ///< in old, not in new
+  std::vector<EdgeId> removed_old_ids;    ///< parallel to removed
+  std::vector<Edge> inserted;             ///< in new, not in old
+  std::vector<EdgeId> inserted_new_ids;   ///< parallel to inserted
   /// old edge id -> new edge id for surviving edges (kInvalidEdge for
   /// removed ones). Carrying per-edge state across snapshots is one gather
   /// through this table.

@@ -92,6 +92,24 @@ const char* IncrementalConfig::name() const noexcept {
   return "?";
 }
 
+std::vector<NodeId> collect_dirty_roots(const Graph& old_graph, const Graph& new_graph,
+                                        std::span<const NodeId> touched, Dist radius,
+                                        BoundedBfs& bfs, std::vector<std::uint8_t>& flag) {
+  REMSPAN_CHECK(old_graph.num_nodes() == new_graph.num_nodes());
+  flag.assign(old_graph.num_nodes(), 0);
+  for (const NodeId v : bfs.run_multi(GraphView(old_graph), touched, radius)) {
+    flag[v] = 1;
+  }
+  for (const NodeId v : bfs.run_multi(GraphView(new_graph), touched, radius)) {
+    flag[v] = 1;
+  }
+  std::vector<NodeId> dirty;
+  for (NodeId v = 0; v < flag.size(); ++v) {
+    if (flag[v] != 0) dirty.push_back(v);
+  }
+  return dirty;
+}
+
 namespace {
 
 /// Records one built tree: stores its edges as canonical node pairs into
@@ -177,17 +195,8 @@ ChurnBatchStats IncrementalSpanner::apply_batch(std::span<const GraphEvent> even
   // new ones). One multi-source bounded BFS per snapshot.
   const std::vector<NodeId> touched = touched_endpoints(delta);
   stats.touched_nodes = touched.size();
-  const Dist radius = config_.dirty_radius();
-  std::fill(dirty_flag_.begin(), dirty_flag_.end(), 0);
-  for (const NodeId v : dirty_bfs_.run_multi(GraphView(*old_graph), touched, radius)) {
-    dirty_flag_[v] = 1;
-  }
-  for (const NodeId v : dirty_bfs_.run_multi(GraphView(*new_graph), touched, radius)) {
-    dirty_flag_[v] = 1;
-  }
-  for (NodeId v = 0; v < dirty_flag_.size(); ++v) {
-    if (dirty_flag_[v] != 0) dirty_.push_back(v);
-  }
+  dirty_ = collect_dirty_roots(*old_graph, *new_graph, touched, config_.dirty_radius(),
+                               dirty_bfs_, dirty_flag_);
   stats.dirty_roots = dirty_.size();
 
   auto& pool = ThreadPool::global();

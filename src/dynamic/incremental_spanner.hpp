@@ -49,16 +49,16 @@ namespace remspan {
 /// theorem front-ends of core/remote_spanner.hpp.
 struct IncrementalConfig {
   enum class Construction {
-    kRBetaTree,     // union of (r, beta)-dominating trees (Theorem 1 shape)
-    kKConnecting,   // k-connecting (1,0), greedy k-cover trees (Theorem 2)
-    k2Connecting,   // k-connecting (2,1) trees via k MIS rounds (Theorem 3)
+    kRBetaTree,     ///< union of (r, beta)-dominating trees (Theorem 1 shape)
+    kKConnecting,   ///< k-connecting (1,0), greedy k-cover trees (Theorem 2)
+    k2Connecting,   ///< k-connecting (2,1) trees via k MIS rounds (Theorem 3)
   };
 
   Construction construction = Construction::kKConnecting;
-  TreeAlgorithm algo = TreeAlgorithm::kGreedy;  // tree backend for kRBetaTree
-  Dist r = 2;
-  Dist beta = 0;
-  Dist k = 1;
+  TreeAlgorithm algo = TreeAlgorithm::kGreedy;  ///< tree backend for kRBetaTree
+  Dist r = 2;     ///< domination radius (kRBetaTree)
+  Dist beta = 0;  ///< domination slack (kRBetaTree; MIS requires beta = 1)
+  Dist k = 1;     ///< connectivity target (kKConnecting / k2Connecting)
 
   [[nodiscard]] static IncrementalConfig r_beta_tree(Dist r, Dist beta, TreeAlgorithm algo);
   /// Theorem 1 front-end: (1+eps, 1-2eps)-remote-spanner.
@@ -85,19 +85,44 @@ struct IncrementalConfig {
   [[nodiscard]] const char* name() const noexcept;
 };
 
+/// Computes the sorted set of roots within `radius` hops of a touched
+/// endpoint in either snapshot (removals dirty roots at old distances,
+/// insertions at new ones) with one multi-source bounded BFS per snapshot.
+///
+/// This is the locality primitive shared by the whole dynamic stack: the
+/// IncrementalSpanner rebuilds exactly these roots' trees per batch, and
+/// the protocol-level ReconvergenceSim (src/sim/reconvergence.hpp) scopes
+/// re-advertisement to the same set — with radius = flood scope, these are
+/// precisely the nodes whose B(u, scope) topology knowledge may have
+/// changed.
+///
+/// @param old_graph  Snapshot before the batch (same node universe as new).
+/// @param new_graph  Snapshot after the batch.
+/// @param touched    Endpoints of the changed edges (touched_endpoints()).
+/// @param radius     Ball radius of the expansion, in hops.
+/// @param bfs        Scratch BFS sized to the node universe (reused across
+///                   batches to avoid reallocation).
+/// @param flag       Scratch per-node byte vector; resized/cleared inside.
+/// @return           Dirty roots in increasing node-id order.
+[[nodiscard]] std::vector<NodeId> collect_dirty_roots(const Graph& old_graph,
+                                                      const Graph& new_graph,
+                                                      std::span<const NodeId> touched, Dist radius,
+                                                      BoundedBfs& bfs,
+                                                      std::vector<std::uint8_t>& flag);
+
 /// Per-batch accounting, reported by bench_churn and the remspan_tool
 /// churn-replay mode.
 struct ChurnBatchStats {
-  std::uint64_t version = 0;        // DynamicGraph version after the batch
-  std::size_t applied_events = 0;   // events that actually changed state
-  std::size_t inserted_edges = 0;   // live-edge delta vs previous snapshot
-  std::size_t removed_edges = 0;
-  std::size_t touched_nodes = 0;    // endpoints seeding the dirty expansion
-  std::size_t dirty_roots = 0;      // roots whose trees were rebuilt
-  std::size_t retired_tree_edges = 0;
-  std::size_t rebuilt_tree_edges = 0;
-  std::size_t spanner_edges = 0;    // |H| after the batch
-  double seconds = 0.0;             // wall time of the whole batch
+  std::uint64_t version = 0;        ///< DynamicGraph version after the batch
+  std::size_t applied_events = 0;   ///< events that actually changed state
+  std::size_t inserted_edges = 0;   ///< live-edge insertions vs previous snapshot
+  std::size_t removed_edges = 0;    ///< live-edge removals vs previous snapshot
+  std::size_t touched_nodes = 0;    ///< endpoints seeding the dirty expansion
+  std::size_t dirty_roots = 0;      ///< roots whose trees were rebuilt
+  std::size_t retired_tree_edges = 0;  ///< tree edges dropped from the refcount union
+  std::size_t rebuilt_tree_edges = 0;  ///< tree edges re-added by the rebuilds
+  std::size_t spanner_edges = 0;    ///< |H| after the batch
+  double seconds = 0.0;             ///< wall time of the whole batch
 };
 
 class IncrementalSpanner {

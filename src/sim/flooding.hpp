@@ -43,6 +43,13 @@ class FloodManager {
 
   [[nodiscard]] std::uint32_t next_seq() const noexcept { return next_seq_; }
 
+  /// Forgets every recorded (origin, seq) key while keeping the sequence
+  /// counter. Safe between flooding epochs that each run to quiescence:
+  /// later floods carry fresh seqs, so suppression state from drained
+  /// epochs can never match again — dropping it keeps long churn replays
+  /// at O(live state) memory instead of O(floods ever seen).
+  void reset_seen() { seen_.clear(); }
+
  private:
   bool mark_seen(const Message& msg) {
     const std::uint64_t key =

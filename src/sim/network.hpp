@@ -21,12 +21,12 @@ namespace remspan {
 /// A protocol message. `origin`/`seq` identify flooded payloads for
 /// duplicate suppression; `ttl` is the remaining forwarding budget.
 struct Message {
-  NodeId from = kInvalidNode;    // immediate sender
-  NodeId origin = kInvalidNode;  // original source of a flooded payload
-  std::uint32_t seq = 0;         // origin-local sequence number
-  std::uint32_t ttl = 0;         // hops the message may still travel
-  std::uint32_t type = 0;        // protocol-defined tag
-  std::vector<std::uint32_t> payload;
+  NodeId from = kInvalidNode;    ///< immediate sender (link-layer, not counted in wire_bytes)
+  NodeId origin = kInvalidNode;  ///< original source of a flooded payload
+  std::uint32_t seq = 0;         ///< origin-local sequence number
+  std::uint32_t ttl = 0;         ///< hops the message may still travel
+  std::uint32_t type = 0;        ///< protocol-defined tag
+  std::vector<std::uint32_t> payload;  ///< protocol-defined content, 32-bit words
 };
 
 class Network;
@@ -36,8 +36,12 @@ class NodeContext {
  public:
   NodeContext(Network& net, NodeId id) : net_(&net), id_(id) {}
 
+  /// This node's id in the simulated network.
   [[nodiscard]] NodeId id() const noexcept { return id_; }
+  /// The network's current (1-based) round number.
   [[nodiscard]] std::uint32_t round() const noexcept;
+  /// Total node count of the network (known to every real node, e.g. via
+  /// configuration — not derived from messages).
   [[nodiscard]] NodeId num_network_nodes() const noexcept;
 
   /// Local wireless broadcast: the message reaches every graph neighbor at
@@ -62,11 +66,34 @@ class Protocol {
   [[nodiscard]] virtual bool done() const = 0;
 };
 
+/// Fixed per-message header charged by NetworkStats::wire_bytes(): origin,
+/// seq, ttl and type, one 32-bit word each (`from` is link-layer framing and
+/// not counted).
+inline constexpr std::uint64_t kMessageHeaderWords = 4;
+
+/// Cumulative communication accounting of a Network. Counters only ever
+/// grow; per-phase costs (e.g. one reconvergence batch) are deltas between
+/// two snapshots of this struct — see operator-.
 struct NetworkStats {
-  std::uint64_t transmissions = 0;   // broadcast() calls
-  std::uint64_t receptions = 0;      // per-neighbor deliveries
-  std::uint64_t payload_words = 0;   // sum of payload sizes over transmissions
-  std::uint32_t rounds = 0;          // rounds executed by run()
+  std::uint64_t transmissions = 0;   ///< broadcast() calls (originations + forwards)
+  std::uint64_t receptions = 0;      ///< per-neighbor deliveries
+  std::uint64_t payload_words = 0;   ///< sum of payload sizes over transmissions
+  std::uint32_t rounds = 0;          ///< rounds executed by run()
+
+  /// Total bytes put on the wire: every transmission pays the fixed
+  /// kMessageHeaderWords header plus its payload, 4 bytes per word.
+  [[nodiscard]] std::uint64_t wire_bytes() const noexcept {
+    return 4 * (kMessageHeaderWords * transmissions + payload_words);
+  }
+
+  /// Component-wise delta (per-batch accounting); `before` must be an
+  /// earlier snapshot of the same network's stats.
+  friend NetworkStats operator-(const NetworkStats& after, const NetworkStats& before) {
+    return NetworkStats{after.transmissions - before.transmissions,
+                        after.receptions - before.receptions,
+                        after.payload_words - before.payload_words,
+                        after.rounds - before.rounds};
+  }
 };
 
 class Network {

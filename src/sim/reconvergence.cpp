@@ -1,0 +1,310 @@
+#include "sim/reconvergence.hpp"
+
+#include <utility>
+
+#include "dynamic/incremental_spanner.hpp"
+#include "sim/flooding.hpp"
+#include "util/timer.hpp"
+
+namespace remspan {
+
+const char* strategy_name(ReconvergeStrategy strategy) noexcept {
+  return strategy == ReconvergeStrategy::kIncremental ? "incremental" : "full-reflood";
+}
+
+namespace {
+
+/// The epoch-based node program behind ReconvergenceSim. Each batch is one
+/// epoch: the driver marks the node advertising or passive and restarts its
+/// local round counter; an advertising node replays the RemSpan schedule
+/// (HELLO, neighbor-list flood, tree recompute + flood) while a passive
+/// node only stores and forwards other nodes' floods.
+class ReconvergeProtocol final : public Protocol {
+ public:
+  ReconvergeProtocol(const RemSpanConfig& config, NodeId self)
+      : config_(config), self_(self) {}
+
+  /// Link-layer sensing: the driver hands over the node's current neighbor
+  /// list (sorted) whenever one of its links changed.
+  void sense_neighbors(std::vector<NodeId> sorted) { neighbors_ = std::move(sorted); }
+
+  /// Starts a new epoch. `advertise` nodes rerun the protocol schedule;
+  /// `reset_state` additionally discards all accumulated knowledge (the
+  /// full-re-flood strawman's cold start).
+  void begin_epoch(bool advertise, bool reset_state) {
+    if (reset_state) {
+      lists_.clear();
+      trees_.clear();
+      tree_edges_.clear();
+    }
+    // The previous epoch ran to quiescence, so its duplicate-suppression
+    // keys can never match again (seqs only grow); keep memory O(live state).
+    flood_.reset_seen();
+    advertise_ = advertise;
+    round_ = 0;
+    finished_ = !advertise;
+  }
+
+  void on_round(NodeContext& ctx) override {
+    ++round_;
+    if (!advertise_) return;
+    const Dist scope = config_.flood_scope();
+    if (round_ == 1) {
+      Message hello;
+      hello.type = kMsgHello;
+      hello.origin = self_;
+      ctx.broadcast(std::move(hello));
+      return;
+    }
+    if (round_ == 2) {
+      flood_.originate(ctx, kMsgNeighborList, scope,
+                       std::vector<std::uint32_t>(neighbors_.begin(), neighbors_.end()));
+      return;
+    }
+    if (round_ == 2 + scope && !finished_) {
+      prune_to_ball();
+      tree_edges_ = compute_local_tree_edges(config_, self_, neighbors_, lists_);
+      std::vector<std::uint32_t> payload;
+      payload.reserve(tree_edges_.size() * 2);
+      for (const Edge& e : tree_edges_) {
+        payload.push_back(e.u);
+        payload.push_back(e.v);
+      }
+      flood_.originate(ctx, kMsgTree, scope, std::move(payload));
+      finished_ = true;
+    }
+  }
+
+  void on_message(NodeContext& ctx, const Message& msg) override {
+    switch (msg.type) {
+      case kMsgHello:
+        break;  // sensing is driver-side; the delivery is still accounted
+      case kMsgNeighborList: {
+        if (!flood_.accept(ctx, msg)) break;
+        lists_[msg.origin] = std::vector<NodeId>(msg.payload.begin(), msg.payload.end());
+        break;
+      }
+      case kMsgTree: {
+        if (!flood_.accept(ctx, msg)) break;
+        std::vector<Edge> edges;
+        edges.reserve(msg.payload.size() / 2);
+        for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
+          edges.push_back(make_edge(msg.payload[i], msg.payload[i + 1]));
+        }
+        trees_[msg.origin] = std::move(edges);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  [[nodiscard]] bool done() const override { return finished_; }
+
+  [[nodiscard]] const std::vector<Edge>& tree_edges() const noexcept { return tree_edges_; }
+
+  /// The scope-ball around this node walked over its stored lists: sorted
+  /// origins at distance 1..scope (self excluded). Entries inside the ball
+  /// are provably fresh (header comment), so the walk follows real edges
+  /// only; a missing in-ball entry would falsify the re-advertisement
+  /// invariant and is REMSPAN_CHECKed.
+  [[nodiscard]] std::vector<NodeId> ball_origins() const {
+    std::map<NodeId, Dist> dist;
+    dist.emplace(self_, 0);
+    std::vector<NodeId> frontier{self_};
+    for (Dist d = 0; d < config_.flood_scope() && !frontier.empty(); ++d) {
+      std::vector<NodeId> next;
+      for (const NodeId w : frontier) {
+        const std::vector<NodeId>* nbrs = &neighbors_;
+        if (w != self_) {
+          const auto it = lists_.find(w);
+          REMSPAN_CHECK(it != lists_.end());
+          nbrs = &it->second;
+        }
+        for (const NodeId x : *nbrs) {
+          if (dist.emplace(x, d + 1).second) next.push_back(x);
+        }
+      }
+      frontier = std::move(next);
+    }
+    std::vector<NodeId> out;
+    out.reserve(dist.size() - 1);
+    for (const auto& entry : dist) {
+      if (entry.first != self_) out.push_back(entry.first);
+    }
+    return out;  // std::map iteration: already sorted
+  }
+
+  [[nodiscard]] std::map<NodeId, std::vector<NodeId>> pruned_lists() const {
+    std::map<NodeId, std::vector<NodeId>> out;
+    for (const NodeId v : ball_origins()) {
+      const auto it = lists_.find(v);
+      REMSPAN_CHECK(it != lists_.end());
+      out.emplace(v, it->second);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::map<NodeId, std::vector<Edge>> pruned_trees() const {
+    std::map<NodeId, std::vector<Edge>> out;
+    out.emplace(self_, tree_edges_);
+    for (const NodeId v : ball_origins()) {
+      const auto it = trees_.find(v);
+      REMSPAN_CHECK(it != trees_.end());
+      out.emplace(v, it->second);
+    }
+    return out;
+  }
+
+ private:
+  /// Drops every stored list / tree entry whose origin left the scope-ball;
+  /// called right before the tree recompute so stale knowledge can never
+  /// leak into the local graph. Runs mid-epoch: this epoch's tree floods
+  /// are still in flight, so a ball origin may legitimately have no tree
+  /// entry yet (unlike in pruned_trees(), which reads converged state).
+  void prune_to_ball() {
+    const std::vector<NodeId> ball = ball_origins();
+    std::map<NodeId, std::vector<NodeId>> lists;
+    std::map<NodeId, std::vector<Edge>> trees;
+    for (const NodeId v : ball) {
+      const auto it = lists_.find(v);
+      REMSPAN_CHECK(it != lists_.end());
+      lists.emplace(v, std::move(it->second));
+      const auto jt = trees_.find(v);
+      if (jt != trees_.end()) trees.emplace(v, std::move(jt->second));
+    }
+    lists_ = std::move(lists);
+    trees_ = std::move(trees);
+  }
+
+  RemSpanConfig config_;
+  NodeId self_;
+  FloodManager flood_;
+  std::vector<NodeId> neighbors_;              // sensed, sorted
+  std::map<NodeId, std::vector<NodeId>> lists_;  // origin -> latest neighbor list
+  std::map<NodeId, std::vector<Edge>> trees_;    // origin -> latest tree
+  std::vector<Edge> tree_edges_;               // own advertised tree
+  std::uint32_t round_ = 0;
+  bool advertise_ = false;
+  bool finished_ = true;
+};
+
+ReconvergeProtocol& proto(Network& net, NodeId v) {
+  return dynamic_cast<ReconvergeProtocol&>(net.node(v));
+}
+
+std::vector<NodeId> sorted_neighbors(const Graph& g, NodeId v) {
+  const auto nbrs = g.neighbors(v);  // CSR rows are sorted
+  return {nbrs.begin(), nbrs.end()};
+}
+
+}  // namespace
+
+ReconvergenceSim::ReconvergenceSim(const Graph& initial, const RemSpanConfig& config,
+                                   ReconvergeStrategy strategy)
+    : config_(config),
+      strategy_(strategy),
+      dynamic_(initial),
+      graph_(dynamic_.snapshot()),
+      dirty_bfs_(initial.num_nodes()) {
+  Timer timer;
+  net_ = std::make_unique<Network>(*graph_, [&config](NodeId v) {
+    return std::make_unique<ReconvergeProtocol>(config, v);
+  });
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    auto& p = proto(*net_, v);
+    p.sense_neighbors(sorted_neighbors(*graph_, v));
+    p.begin_epoch(/*advertise=*/true, /*reset_state=*/true);
+  }
+  initial_.rounds = net_->run(config_.expected_rounds() + 4);
+  const NetworkStats& s = net_->stats();
+  initial_.advertising_nodes = graph_->num_nodes();
+  initial_.transmissions = s.transmissions;
+  initial_.receptions = s.receptions;
+  initial_.payload_words = s.payload_words;
+  initial_.wire_bytes = s.wire_bytes();
+  initial_.spanner_edges = spanner().size();
+  initial_.seconds = timer.seconds();
+}
+
+ReconvergenceSim::~ReconvergenceSim() = default;
+
+ReconvergeBatchStats ReconvergenceSim::apply_batch(std::span<const GraphEvent> events) {
+  Timer timer;
+  ReconvergeBatchStats stats;
+  stats.batch = ++epoch_;
+  stats.applied_events = dynamic_.apply_all(events);
+
+  const std::shared_ptr<const Graph> old_graph = graph_;
+  const std::shared_ptr<const Graph> new_graph = dynamic_.snapshot();
+  const GraphDelta delta = diff_graphs(*old_graph, *new_graph);
+  graph_ = new_graph;
+  net_->change_topology(*graph_);
+  if (delta.empty()) {
+    // No live-topology change: nobody re-advertises, nothing flows.
+    stats.spanner_edges = spanner().size();
+    stats.seconds = timer.seconds();
+    return stats;
+  }
+  stats.removed_edges = delta.removed.size();
+  stats.inserted_edges = delta.inserted.size();
+
+  const std::vector<NodeId> touched = touched_endpoints(delta);
+  stats.touched_nodes = touched.size();
+
+  if (strategy_ == ReconvergeStrategy::kFullReflood) {
+    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      auto& p = proto(*net_, v);
+      p.sense_neighbors(sorted_neighbors(*graph_, v));
+      p.begin_epoch(/*advertise=*/true, /*reset_state=*/true);
+    }
+    stats.advertising_nodes = graph_->num_nodes();
+  } else {
+    const std::vector<NodeId> dirty = collect_dirty_roots(
+        *old_graph, *new_graph, touched, config_.flood_scope(), dirty_bfs_, dirty_flag_);
+    for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+      proto(*net_, v).begin_epoch(/*advertise=*/dirty_flag_[v] != 0, /*reset_state=*/false);
+    }
+    for (const NodeId v : touched) {
+      proto(*net_, v).sense_neighbors(sorted_neighbors(*graph_, v));
+    }
+    stats.advertising_nodes = dirty.size();
+  }
+
+  const NetworkStats before = net_->stats();
+  stats.rounds = net_->run(config_.expected_rounds() + 4);
+  const NetworkStats delta_stats = net_->stats() - before;
+  stats.transmissions = delta_stats.transmissions;
+  stats.receptions = delta_stats.receptions;
+  stats.payload_words = delta_stats.payload_words;
+  stats.wire_bytes = delta_stats.wire_bytes();
+  stats.spanner_edges = spanner().size();
+  stats.seconds = timer.seconds();
+  return stats;
+}
+
+EdgeSet ReconvergenceSim::spanner() const {
+  EdgeSet h(*graph_);
+  for (NodeId v = 0; v < graph_->num_nodes(); ++v) {
+    for (const Edge& e : proto(*net_, v).tree_edges()) {
+      const EdgeId id = graph_->find_edge(e.u, e.v);
+      REMSPAN_CHECK(id != kInvalidEdge);
+      h.insert(id);
+    }
+  }
+  return h;
+}
+
+const std::vector<Edge>& ReconvergenceSim::node_tree(NodeId v) const {
+  return proto(*net_, v).tree_edges();
+}
+
+std::map<NodeId, std::vector<NodeId>> ReconvergenceSim::node_ball_lists(NodeId v) const {
+  return proto(*net_, v).pruned_lists();
+}
+
+std::map<NodeId, std::vector<Edge>> ReconvergenceSim::node_ball_trees(NodeId v) const {
+  return proto(*net_, v).pruned_trees();
+}
+
+}  // namespace remspan

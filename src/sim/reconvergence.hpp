@@ -1,0 +1,159 @@
+// ReconvergenceSim: protocol-level reconvergence under churn — what a
+// remote-spanner buys a *running* link-state protocol when the topology
+// keeps changing.
+//
+// The driver replays a stream of GraphEvent batches (a ChurnTrace) into a
+// persistent synchronous Network whose nodes run the advertise/compute/
+// flood pipeline of Algorithm RemSpan, and measures, per batch, the cost of
+// re-converging the distributed state: rounds, messages, payload words and
+// bytes on the wire. Two strategies are compared:
+//
+//   kFullReflood   — the strawman: every node discards its state and reruns
+//                    the full protocol on the new topology (periodic
+//                    re-advertisement in OLSR terms). Per-batch cost is the
+//                    cost of a cold start, independent of the batch size.
+//   kIncremental   — only the nodes whose local knowledge may have changed
+//                    re-advertise. These are exactly the *dirty roots* of
+//                    the incremental maintenance engine
+//                    (collect_dirty_roots, src/dynamic): the nodes within
+//                    flood_scope() hops of a touched endpoint in the old or
+//                    new snapshot. For every protocol kind the flood scope
+//                    equals the dependency radius max(1, r+beta-1) of the
+//                    per-root computation, so this set is both sufficient
+//                    and locally computable.
+//
+// Why scoping re-advertisement to the dirty ball reaches the same converged
+// state as a full re-flood, bit for bit:
+//
+//   * A node u's protocol state is a function of the neighbor lists of the
+//     origins in B(u, scope). If u is clean (outside every dirty ball),
+//     that ball's content is unchanged, so u's stored lists, tree and
+//     advertisements are already exactly what a cold start would produce.
+//   * Every dirty node re-floods its current list and recomputed tree with
+//     ttl = scope over the *new* topology. A node u that needs origin o's
+//     data (o in B_new(u, scope)) either already holds it — o clean, in
+//     which case o's list is unchanged and was delivered earlier — or o is
+//     dirty and the new flood reaches u directly. In particular an origin
+//     that *entered* u's ball without itself being touched (a remote
+//     insertion shortened the path) lies within scope of the inserted
+//     edge's endpoints, is therefore dirty, and re-floods.
+//   * Stale entries for origins that *left* the ball are pruned locally:
+//     before recomputing, a dirty node walks its stored lists breadth-first
+//     from its sensed neighbors to depth scope. Entries inside the
+//     reconstructed ball are fresh by the argument above, so the walk never
+//     follows a phantom edge, and everything beyond it is discarded.
+//
+// tests/test_reconvergence.cpp pins this equivalence after every batch
+// (spanner, per-node trees, per-node pruned ball views) against both the
+// full-re-flood strategy and the centralized constructions.
+//
+// Link-layer modeling: neighbor change detection (HELLO exchange /
+// timeouts) is driver-side — each touched endpoint is handed its new
+// sensed neighbor list, the way simulators model layer-2 link sensing.
+// Advertising nodes still pay one HELLO broadcast per batch, so the
+// round schedule and per-node cost match Algorithm RemSpan's
+// 1 + 2*scope budget exactly; a batch whose delta is empty costs zero
+// rounds and zero messages.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/bfs.hpp"
+#include "graph/edge_set.hpp"
+#include "sim/network.hpp"
+#include "sim/remspan_protocol.hpp"
+
+namespace remspan {
+
+/// How the protocol reacts to a batch of topology updates.
+enum class ReconvergeStrategy {
+  kIncremental,  ///< only dirty-ball nodes re-advertise (scoped floods)
+  kFullReflood,  ///< every node resets and reruns the full protocol
+};
+
+/// @return "incremental" or "full-reflood" (bench/tool labels).
+[[nodiscard]] const char* strategy_name(ReconvergeStrategy strategy) noexcept;
+
+/// Per-batch reconvergence cost, measured on the synchronous simulator.
+struct ReconvergeBatchStats {
+  std::size_t batch = 0;             ///< 1-based batch number (0 = initial build)
+  std::size_t applied_events = 0;    ///< events that changed stored state
+  std::size_t inserted_edges = 0;    ///< live-edge delta vs previous snapshot
+  std::size_t removed_edges = 0;
+  std::size_t touched_nodes = 0;     ///< endpoints of changed edges
+  std::size_t advertising_nodes = 0; ///< nodes that re-advertised this batch
+  std::uint32_t rounds = 0;          ///< rounds until quiescence
+  std::uint64_t transmissions = 0;   ///< broadcasts (originations + forwards)
+  std::uint64_t receptions = 0;      ///< per-neighbor deliveries
+  std::uint64_t payload_words = 0;   ///< payload volume over all transmissions
+  std::uint64_t wire_bytes = 0;      ///< headers + payload (NetworkStats::wire_bytes)
+  std::size_t spanner_edges = 0;     ///< |union of advertised trees| after the batch
+  double seconds = 0.0;              ///< wall time of the simulated batch
+};
+
+/// Churn-aware driver over the round simulator. Owns the evolving topology
+/// (a DynamicGraph seeded from the initial graph) and one protocol instance
+/// per node; apply_batch() feeds one ChurnTrace batch through the network
+/// and reports the reconvergence cost.
+class ReconvergenceSim {
+ public:
+  /// Builds the network on `initial` and runs the initial convergence
+  /// (every node advertises from a cold start; cost in initial_stats()).
+  ReconvergenceSim(const Graph& initial, const RemSpanConfig& config,
+                   ReconvergeStrategy strategy);
+  ~ReconvergenceSim();
+
+  ReconvergenceSim(const ReconvergenceSim&) = delete;
+  ReconvergenceSim& operator=(const ReconvergenceSim&) = delete;
+
+  [[nodiscard]] const RemSpanConfig& config() const noexcept { return config_; }
+  [[nodiscard]] ReconvergeStrategy strategy() const noexcept { return strategy_; }
+
+  /// The snapshot the protocol state currently refers to.
+  [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
+
+  /// Number of batches applied so far.
+  [[nodiscard]] std::uint32_t batches_applied() const noexcept { return epoch_; }
+
+  /// Cost of the initial cold-start convergence (batch index 0).
+  [[nodiscard]] const ReconvergeBatchStats& initial_stats() const noexcept { return initial_; }
+
+  /// Applies one batch of updates to the topology and re-converges the
+  /// protocol state under the configured strategy. An all-no-op batch
+  /// returns with zero rounds and zero messages.
+  ReconvergeBatchStats apply_batch(std::span<const GraphEvent> events);
+
+  /// Union of every node's currently advertised tree over graph() — the
+  /// network-wide view of the spanner the protocol maintains.
+  [[nodiscard]] EdgeSet spanner() const;
+
+  /// Node v's currently advertised tree edges (global node pairs).
+  [[nodiscard]] const std::vector<Edge>& node_tree(NodeId v) const;
+
+  /// Node v's topology knowledge pruned to its scope-ball: origin -> sorted
+  /// neighbor list, exactly what v's next tree computation would read. The
+  /// oracle tests compare this between strategies.
+  [[nodiscard]] std::map<NodeId, std::vector<NodeId>> node_ball_lists(NodeId v) const;
+
+  /// Latest tree v knows per ball origin (its own under key v) — the
+  /// node-local view of the spanner within its ball.
+  [[nodiscard]] std::map<NodeId, std::vector<Edge>> node_ball_trees(NodeId v) const;
+
+ private:
+  RemSpanConfig config_;
+  ReconvergeStrategy strategy_;
+  DynamicGraph dynamic_;
+  std::shared_ptr<const Graph> graph_;
+  std::unique_ptr<Network> net_;
+  BoundedBfs dirty_bfs_;
+  std::vector<std::uint8_t> dirty_flag_;
+  ReconvergeBatchStats initial_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace remspan

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "baseline/mpr.hpp"
+
 namespace remspan {
 
 Dist RemSpanConfig::flood_scope() const {
@@ -15,11 +17,87 @@ Dist RemSpanConfig::flood_scope() const {
       return 1;  // r = 2, beta = 0
     case Kind::kKConnMis:
       return 2;  // r = 2, beta = 1
+    case Kind::kOlsrMpr:
+      return 1;  // MPR selection reads nothing beyond N(u)'s links
   }
   return 1;
 }
 
 std::uint32_t RemSpanConfig::expected_rounds() const { return 1 + 2 * flood_scope(); }
+
+const char* RemSpanConfig::kind_name() const noexcept {
+  switch (kind) {
+    case Kind::kLowStretchGreedy:
+      return "low-stretch (greedy)";
+    case Kind::kLowStretchMis:
+      return "low-stretch (mis)";
+    case Kind::kKConnGreedy:
+      return "k-connecting (greedy)";
+    case Kind::kKConnMis:
+      return "k-connecting (mis)";
+    case Kind::kOlsrMpr:
+      return "olsr-mpr";
+  }
+  return "?";
+}
+
+std::vector<Edge> compute_local_tree_edges(const RemSpanConfig& config, NodeId self,
+                                           const std::vector<NodeId>& neighbors,
+                                           const std::map<NodeId, std::vector<NodeId>>& lists) {
+  // Collect every node id the local view mentions. Ids are compacted
+  // monotonically so that every id-based tie-break in DomTreeBuilder and
+  // olsr_mpr_set matches the centralized computation on the full graph.
+  std::vector<NodeId> known;
+  known.push_back(self);
+  for (const NodeId v : neighbors) known.push_back(v);
+  for (const auto& [origin, list] : lists) {
+    known.push_back(origin);
+    known.insert(known.end(), list.begin(), list.end());
+  }
+  std::sort(known.begin(), known.end());
+  known.erase(std::unique(known.begin(), known.end()), known.end());
+
+  std::unordered_map<NodeId, NodeId> local_id;
+  local_id.reserve(known.size());
+  for (NodeId i = 0; i < known.size(); ++i) local_id.emplace(known[i], i);
+
+  GraphBuilder builder(static_cast<NodeId>(known.size()));
+  for (const NodeId v : neighbors) builder.add_edge(local_id.at(self), local_id.at(v));
+  for (const auto& [origin, list] : lists) {
+    for (const NodeId v : list) builder.add_edge(local_id.at(origin), local_id.at(v));
+  }
+  const Graph local = builder.build();
+  const NodeId root = local_id.at(self);
+
+  std::vector<Edge> out;
+  if (config.kind == RemSpanConfig::Kind::kOlsrMpr) {
+    for (const NodeId m : olsr_mpr_set(local, root)) {
+      out.push_back(make_edge(self, known[m]));
+    }
+    return out;
+  }
+
+  DomTreeBuilder trees(local);
+  const RootedTree tree = [&] {
+    switch (config.kind) {
+      case RemSpanConfig::Kind::kLowStretchGreedy:
+        return trees.greedy(root, config.r, config.beta);
+      case RemSpanConfig::Kind::kLowStretchMis:
+        return trees.mis(root, config.r);
+      case RemSpanConfig::Kind::kKConnGreedy:
+        return trees.greedy_k(root, config.k);
+      case RemSpanConfig::Kind::kKConnMis:
+        return trees.mis_k(root, config.k);
+      case RemSpanConfig::Kind::kOlsrMpr:
+        break;  // handled above
+    }
+    return RootedTree(root);
+  }();
+  for (const Edge& e : tree.edges()) {
+    out.push_back(make_edge(known[e.u], known[e.v]));
+  }
+  return out;
+}
 
 void RemSpanProtocol::on_round(NodeContext& ctx) {
   ++local_round_;
@@ -27,7 +105,7 @@ void RemSpanProtocol::on_round(NodeContext& ctx) {
   if (local_round_ == 1) {
     // Neighbor discovery.
     Message hello;
-    hello.type = kTypeHello;
+    hello.type = kMsgHello;
     hello.origin = ctx.id();
     ctx.broadcast(std::move(hello));
     return;
@@ -35,7 +113,7 @@ void RemSpanProtocol::on_round(NodeContext& ctx) {
   if (local_round_ == 2) {
     // HELLOs are in: advertise the neighbor list to B(u, scope).
     std::sort(neighbors_.begin(), neighbors_.end());
-    flood_.originate(ctx, kTypeNeighborList, scope,
+    flood_.originate(ctx, kMsgNeighborList, scope,
                      std::vector<std::uint32_t>(neighbors_.begin(), neighbors_.end()));
     return;
   }
@@ -57,22 +135,22 @@ void RemSpanProtocol::flood_payload_and_finish(NodeContext& ctx) {
     payload.push_back(e.u);
     payload.push_back(e.v);
   }
-  flood_.originate(ctx, kTypeTree, config_.flood_scope(), std::move(payload));
+  flood_.originate(ctx, kMsgTree, config_.flood_scope(), std::move(payload));
   tree_flooded_ = true;
 }
 
 void RemSpanProtocol::on_message(NodeContext& ctx, const Message& msg) {
   switch (msg.type) {
-    case kTypeHello:
+    case kMsgHello:
       neighbors_.push_back(msg.origin);
       break;
-    case kTypeNeighborList: {
+    case kMsgNeighborList: {
       if (!flood_.accept(ctx, msg)) break;
       std::vector<NodeId> list(msg.payload.begin(), msg.payload.end());
       topology_.emplace(msg.origin, std::move(list));
       break;
     }
-    case kTypeTree: {
+    case kMsgTree: {
       if (!flood_.accept(ctx, msg)) break;
       for (std::size_t i = 0; i + 1 < msg.payload.size(); i += 2) {
         heard_edges_.push_back(make_edge(msg.payload[i], msg.payload[i + 1]));
@@ -86,52 +164,7 @@ void RemSpanProtocol::on_message(NodeContext& ctx, const Message& msg) {
 
 void RemSpanProtocol::compute_tree(NodeContext& ctx) {
   tree_computed_ = true;
-  const NodeId self = ctx.id();
-
-  // Reconstruct the local topology from the received neighbor lists. Node
-  // ids are compacted monotonically so that every id-based tie-break in
-  // DomTreeBuilder matches the centralized computation on the full graph.
-  std::vector<NodeId> known;
-  known.push_back(self);
-  for (const NodeId v : neighbors_) known.push_back(v);
-  for (const auto& [origin, list] : topology_) {
-    known.push_back(origin);
-    known.insert(known.end(), list.begin(), list.end());
-  }
-  std::sort(known.begin(), known.end());
-  known.erase(std::unique(known.begin(), known.end()), known.end());
-
-  std::unordered_map<NodeId, NodeId> local_id;
-  local_id.reserve(known.size());
-  for (NodeId i = 0; i < known.size(); ++i) local_id.emplace(known[i], i);
-
-  GraphBuilder builder(static_cast<NodeId>(known.size()));
-  for (const NodeId v : neighbors_) builder.add_edge(local_id.at(self), local_id.at(v));
-  for (const auto& [origin, list] : topology_) {
-    for (const NodeId v : list) builder.add_edge(local_id.at(origin), local_id.at(v));
-  }
-  const Graph local = builder.build();
-
-  DomTreeBuilder trees(local);
-  const NodeId root = local_id.at(self);
-  RootedTree tree = [&] {
-    switch (config_.kind) {
-      case RemSpanConfig::Kind::kLowStretchGreedy:
-        return trees.greedy(root, config_.r, config_.beta);
-      case RemSpanConfig::Kind::kLowStretchMis:
-        return trees.mis(root, config_.r);
-      case RemSpanConfig::Kind::kKConnGreedy:
-        return trees.greedy_k(root, config_.k);
-      case RemSpanConfig::Kind::kKConnMis:
-        return trees.mis_k(root, config_.k);
-    }
-    return RootedTree(root);
-  }();
-
-  tree_edges_.clear();
-  for (const Edge& e : tree.edges()) {
-    tree_edges_.push_back(make_edge(known[e.u], known[e.v]));
-  }
+  tree_edges_ = compute_local_tree_edges(config_, ctx.id(), neighbors_, topology_);
   heard_edges_.insert(heard_edges_.end(), tree_edges_.begin(), tree_edges_.end());
 }
 

@@ -23,26 +23,60 @@
 
 namespace remspan {
 
+/// Message types of the advertise/compute/flood pipeline, shared by
+/// RemSpanProtocol and the churn-driven ReconvergenceSim protocols.
+inline constexpr std::uint32_t kMsgHello = 1;         ///< neighbor discovery, empty payload
+inline constexpr std::uint32_t kMsgNeighborList = 2;  ///< origin's sorted neighbor list
+inline constexpr std::uint32_t kMsgTree = 3;          ///< origin's tree edges as (u,v) pairs
+
 struct RemSpanConfig {
   /// Which dominating-tree algorithm each node runs locally.
   enum class Kind {
-    kLowStretchGreedy,  // Algorithm 1, (r, beta)-dominating trees
-    kLowStretchMis,     // Algorithm 2, (r, 1)-dominating trees
-    kKConnGreedy,       // Algorithm 4, k-connecting (2,0)-dominating trees
-    kKConnMis,          // Algorithm 5, k-connecting (2,1)-dominating trees
+    kLowStretchGreedy,  ///< Algorithm 1, (r, beta)-dominating trees
+    kLowStretchMis,     ///< Algorithm 2, (r, 1)-dominating trees
+    kKConnGreedy,       ///< Algorithm 4, k-connecting (2,0)-dominating trees
+    kKConnMis,          ///< Algorithm 5, k-connecting (2,1)-dominating trees
+    kOlsrMpr,           ///< RFC 3626 multipoint-relay selection (baseline)
   };
 
   Kind kind = Kind::kKConnGreedy;
-  Dist r = 2;     // low-stretch radius (>= 2)
-  Dist beta = 1;  // low-stretch slack (greedy only; MIS is beta = 1)
-  Dist k = 1;     // connectivity target for the k-connecting kinds
+  Dist r = 2;     ///< low-stretch radius (>= 2)
+  Dist beta = 1;  ///< low-stretch slack (greedy only; MIS is beta = 1)
+  Dist k = 1;     ///< connectivity target for the k-connecting kinds
 
   /// Flooding scope r - 1 + beta; how far neighbor lists and trees travel.
+  /// Equal to the dependency radius max(1, r+beta-1) of the per-root
+  /// computation for every kind (IncrementalConfig::dirty_radius), which is
+  /// what lets the reconvergence driver scope re-advertisement to the dirty
+  /// ball without changing the converged result.
   [[nodiscard]] Dist flood_scope() const;
 
   /// Total round budget 2r - 1 + 2 beta claimed by the paper.
   [[nodiscard]] std::uint32_t expected_rounds() const;
+
+  /// Human-readable kind name (bench/tool labels).
+  [[nodiscard]] const char* kind_name() const noexcept;
 };
+
+/// The node-local computation of the protocol: reconstructs the topology
+/// within the flood scope from `self`'s own (sorted) neighbor list plus the
+/// received per-origin neighbor lists, runs the configured per-root
+/// algorithm on it, and returns the selected tree edges in global node ids.
+///
+/// Node ids are compacted monotonically before the tree build so every
+/// id-based tie-break matches the centralized computation on the full graph
+/// — this is the function that makes "distributed union == centralized
+/// spanner" hold edge-for-edge.
+///
+/// @param config     Protocol kind and parameters.
+/// @param self       The computing node (global id).
+/// @param neighbors  self's current neighbor list, sorted ascending.
+/// @param lists      origin -> its sorted neighbor list, for every origin
+///                   within the flood scope of self.
+/// @return           The tree (or MPR star) edges rooted at self.
+[[nodiscard]] std::vector<Edge> compute_local_tree_edges(
+    const RemSpanConfig& config, NodeId self, const std::vector<NodeId>& neighbors,
+    const std::map<NodeId, std::vector<NodeId>>& lists);
 
 class RemSpanProtocol : public Protocol {
  public:
@@ -66,10 +100,6 @@ class RemSpanProtocol : public Protocol {
   }
 
  private:
-  static constexpr std::uint32_t kTypeHello = 1;
-  static constexpr std::uint32_t kTypeNeighborList = 2;
-  static constexpr std::uint32_t kTypeTree = 3;
-
   void compute_tree(NodeContext& ctx);
   void flood_payload_and_finish(NodeContext& ctx);
 

@@ -15,9 +15,10 @@
 namespace remspan {
 
 struct RouteResult {
-  std::vector<NodeId> path;  // visited nodes, s first; ends at t iff delivered
-  bool delivered = false;
+  std::vector<NodeId> path;  ///< visited nodes, s first; ends at t iff delivered
+  bool delivered = false;    ///< whether the packet reached t
 
+  /// Number of forwarding hops taken (path length minus one).
   [[nodiscard]] std::size_t hops() const noexcept {
     return path.empty() ? 0 : path.size() - 1;
   }
@@ -33,10 +34,10 @@ struct RouteResult {
 /// Convenience: route length for every pair of a sample; used by the
 /// routing bench. Returns hops or kUnreachable per pair.
 struct RoutingSample {
-  NodeId s;
-  NodeId t;
-  Dist route_hops;
-  Dist shortest;
+  NodeId s;         ///< source
+  NodeId t;         ///< destination
+  Dist route_hops;  ///< greedy route length (kUnreachable if undelivered)
+  Dist shortest;    ///< true shortest-path distance in G
 };
 [[nodiscard]] std::vector<RoutingSample> route_sample_pairs(
     const EdgeSet& h, const std::vector<std::pair<NodeId, NodeId>>& pairs);

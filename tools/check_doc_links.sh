@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Fails (exit 1) when a relative markdown link in README.md or docs/*.md
+# points at a file that does not exist. External links (http/https/mailto)
+# and pure in-page anchors (#...) are skipped; a link's own #anchor suffix
+# is stripped before the existence check. Fenced code blocks (```) are
+# ignored so illustrative links in examples are not treated as real, and
+# targets are read line-wise so spaces in a path do not split it.
+#
+# Usage: tools/check_doc_links.sh [repo-root]   (default: cwd)
+set -u
+
+root="${1:-.}"
+status=0
+
+for doc in "$root"/README.md "$root"/docs/*.md; do
+  [ -f "$doc" ] || continue
+  dir=$(dirname "$doc")
+  # Strip fenced code blocks, then extract every (target) of an inline
+  # markdown link [text](target), one per line.
+  dead=$(awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$doc" \
+    | grep -oE '\]\([^)]+\)' \
+    | sed -e 's/^](//' -e 's/)$//' \
+    | while IFS= read -r target; do
+        case "$target" in
+          http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        [ -e "$dir/$path" ] || echo "$target"
+      done)
+  if [ -n "$dead" ]; then
+    printf '%s\n' "$dead" | while IFS= read -r target; do
+      echo "dead link in $doc: $target"
+    done
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "doc links OK"
+fi
+exit $status
