@@ -5,6 +5,7 @@
 // and average ratio against the theoretical ceiling.
 #include <cmath>
 
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "core/dominating_tree.hpp"
 #include "core/remote_spanner.hpp"
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("approx_ratio");
   report.param("n", n);
@@ -128,7 +130,7 @@ int main(int argc, char** argv) {
       opt_sum += optimal_k_cover(g, u, k);
     }
     if (!exact) continue;
-    const std::size_t spanner_edges = build_k_connecting_spanner(g, k).size();
+    const std::size_t spanner_edges = api::build_spanner(g, api::SpannerSpec::th2(k)).edges.size();
     const double lb = static_cast<double>(opt_sum) / 2.0;
     spanner_table.add_row(
         {std::to_string(k), std::to_string(spanner_edges), format_double(lb, 1),

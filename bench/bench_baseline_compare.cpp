@@ -8,11 +8,8 @@
 #include <optional>
 
 #include "analysis/stretch_oracle.hpp"
-#include "baseline/baswana_sen.hpp"
-#include "baseline/greedy_spanner.hpp"
-#include "baseline/mpr.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "geom/synthetic.hpp"
 #include "sim/remspan_protocol.hpp"
 
@@ -21,19 +18,15 @@ using namespace remspan::bench;
 
 namespace {
 
-RemSpanConfig protocol_config(RemSpanConfig::Kind kind, Dist r, Dist k) {
-  RemSpanConfig cfg;
-  cfg.kind = kind;
-  cfg.r = r;
-  cfg.k = k;
-  return cfg;
-}
-
 void compare_on(const std::string& label, const Graph& g, std::uint64_t seed,
                 Report& report, const std::string& prefix) {
   std::cout << "\ninput: " << label << " (n=" << g.num_nodes() << " m=" << g.num_edges()
             << ")\n";
+  // One shared RNG across the seeded constructions (the two Baswana-Sen
+  // rows draw from it in sequence), threaded through the registry builds.
   Rng rng(seed);
+  api::BuildContext ctx;
+  ctx.rng = &rng;
   struct Case {
     std::string name;
     EdgeSet h;
@@ -42,22 +35,24 @@ void compare_on(const std::string& label, const Graph& g, std::uint64_t seed,
     std::optional<RemSpanConfig> protocol;
   };
   std::vector<Case> cases;
-  cases.push_back({"full topology", EdgeSet(g, true), std::nullopt});
-  cases.push_back({"(1,0)-rem-span [Th.2 k=1]", build_k_connecting_spanner(g, 1),
-                   protocol_config(RemSpanConfig::Kind::kKConnGreedy, 2, 1)});
-  cases.push_back({"2-conn (1,0)-rem-span [Th.2 k=2]", build_k_connecting_spanner(g, 2),
-                   protocol_config(RemSpanConfig::Kind::kKConnGreedy, 2, 2)});
-  cases.push_back({"OLSR MPR union", olsr_mpr_spanner(g),
-                   protocol_config(RemSpanConfig::Kind::kOlsrMpr, 2, 1)});
-  cases.push_back({"(1.5,0)-rem-span [Th.1 eps=.5]", build_low_stretch_remote_spanner(g, 0.5),
-                   protocol_config(RemSpanConfig::Kind::kLowStretchMis, 3, 1)});
-  cases.push_back({"2-conn (2,-1)-rem-span [Th.3]", build_2connecting_spanner(g, 2),
-                   protocol_config(RemSpanConfig::Kind::kKConnMis, 2, 2)});
-  cases.push_back({"greedy (3,0)-spanner", greedy_spanner(g, 3.0), std::nullopt});
-  cases.push_back({"Baswana-Sen k=2 (3,0)-spanner", baswana_sen_spanner(g, 2, rng),
-                   std::nullopt});
-  cases.push_back({"Baswana-Sen k=3 (5,0)-spanner", baswana_sen_spanner(g, 3, rng),
-                   std::nullopt});
+  for (const auto& [name, spec_text] :
+       std::initializer_list<std::pair<const char*, const char*>>{
+           {"full topology", "full"},
+           {"(1,0)-rem-span [Th.2 k=1]", "th2?k=1"},
+           {"2-conn (1,0)-rem-span [Th.2 k=2]", "th2?k=2"},
+           {"OLSR MPR union", "mpr"},
+           {"(1.5,0)-rem-span [Th.1 eps=.5]", "th1?eps=0.5"},
+           {"2-conn (2,-1)-rem-span [Th.3]", "th3?k=2"},
+           {"greedy (3,0)-spanner", "greedy?t=3"},
+           {"Baswana-Sen k=2 (3,0)-spanner", "baswana?k=2"},
+           {"Baswana-Sen k=3 (5,0)-spanner", "baswana?k=3"}}) {
+    const api::SpannerSpec spec = api::parse_spanner_spec(spec_text);
+    api::SpannerResult res = api::build_spanner(g, spec, ctx);
+    cases.push_back({name, std::move(res.edges),
+                     api::supports_protocol(spec)
+                         ? std::optional<RemSpanConfig>(api::protocol_config(spec))
+                         : std::nullopt});
+  }
 
   report.value(prefix + "_input_edges", g.num_edges());
   report.value(prefix + "_edges_th2_k1", cases[1].h.size());
@@ -105,6 +100,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("baseline_compare");
   report.seed(seed);

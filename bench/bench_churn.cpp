@@ -17,6 +17,7 @@
 #include <cmath>
 
 #include "analysis/kconn_oracle.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "dynamic/churn_trace.hpp"
 #include "dynamic/incremental_spanner.hpp"
@@ -93,6 +94,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("churn");
   report.seed(seed);
@@ -117,7 +119,7 @@ int main(int argc, char** argv) {
   report.value("nodes", g.num_nodes());
   report.value("initial_edges", m);
 
-  const IncrementalConfig cfg = IncrementalConfig::k_connecting(k);
+  const IncrementalConfig cfg = api::incremental_config(api::SpannerSpec::th2(k));
   const auto movers = static_cast<std::size_t>(
       std::max(1.0, std::round(target_edges / (2.0 * g.average_degree()))));
   // Both endpoints must fall inside the outage disk, which shaves roughly

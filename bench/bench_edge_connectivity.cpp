@@ -10,6 +10,7 @@
 // sampled pairs across families and report violations (none observed at
 // these sizes — evidence for the conjecture, not a proof).
 #include "analysis/edge_conn_oracle.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "core/remote_spanner.hpp"
 #include "geom/synthetic.hpp"
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("edge_connectivity");
   report.param("n", n);
@@ -52,7 +54,7 @@ int main(int argc, char** argv) {
       fams.push_back({"UDG", paper_udg(4.5, n, seed + 7)});
       for (auto& [name, g] : fams) {
         // Plain Theorem 2 construction (coverage k)...
-        const EdgeSet h = build_k_connecting_spanner(g, k);
+        const EdgeSet h = api::build_spanner(g, api::SpannerSpec::th2(k)).edges;
         const auto report =
             check_k_edge_connecting_stretch(g, h, k, Stretch{1.0, 0.0}, pairs, seed);
         violations_plain += report.violations;
@@ -62,7 +64,7 @@ int main(int argc, char** argv) {
                        std::to_string(report.connectivity_losses),
                        format_double(report.max_ratio, 3)});
         // ...vs the boosted variant (coverage k+1): the candidate repair.
-        const EdgeSet hb = build_k_connecting_spanner(g, k + 1);
+        const EdgeSet hb = api::build_spanner(g, api::SpannerSpec::th2(k + 1)).edges;
         const auto boosted =
             check_k_edge_connecting_stretch(g, hb, k, Stretch{1.0, 0.0}, pairs, seed);
         violations_boosted += boosted.violations;

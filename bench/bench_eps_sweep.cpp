@@ -5,6 +5,7 @@
 // greedy (Alg. 1, log-Delta-approximate trees) vs MIS (Alg. 2, constant
 // trees on doubling metrics — the variant Theorem 1 actually uses).
 #include "analysis/stretch_oracle.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "core/remote_spanner.hpp"
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report json("eps_sweep");
   json.seed(seed);
@@ -42,8 +44,11 @@ int main(int argc, char** argv) {
   for (const double eps : {1.0, 0.5, 1.0 / 3.0, 0.25}) {
     const Dist r = domination_radius_for_eps(eps);
     SpannerBuildInfo info;
-    const EdgeSet h = build_low_stretch_remote_spanner(g, eps, TreeAlgorithm::kMis, &info);
-    const EdgeSet hg = build_low_stretch_remote_spanner(g, eps, TreeAlgorithm::kGreedy);
+    api::BuildContext ctx;
+    ctx.info = &info;
+    const EdgeSet h = api::build_spanner(g, api::SpannerSpec::th1(eps), ctx).edges;
+    const EdgeSet hg =
+        api::build_spanner(g, api::SpannerSpec::th1(eps, TreeAlgorithm::kGreedy)).edges;
     const auto report = check_remote_stretch(g, h, Stretch{1.0 + eps, 1.0 - 2.0 * eps});
     table.add_row({format_double(eps, 3), std::to_string(r), std::to_string(h.size()),
                    std::to_string(hg.size()),

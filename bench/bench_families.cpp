@@ -5,8 +5,8 @@
 // families, with the exact oracles verifying every guarantee.
 #include "analysis/kconn_oracle.hpp"
 #include "analysis/stretch_oracle.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "geom/synthetic.hpp"
 
 using namespace remspan;
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("families");
   report.seed(seed);
@@ -49,9 +50,9 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   for (const auto& fam : families) {
     const Graph& g = fam.g;
-    const EdgeSet th1 = build_low_stretch_remote_spanner(g, 0.5);
-    const EdgeSet th2 = build_k_connecting_spanner(g, 1);
-    const EdgeSet th3 = build_2connecting_spanner(g, 2);
+    const EdgeSet th1 = api::build_spanner(g, "th1?eps=0.5").edges;
+    const EdgeSet th2 = api::build_spanner(g, "th2?k=1").edges;
+    const EdgeSet th3 = api::build_spanner(g, "th3?k=2").edges;
     const bool ok1 = check_remote_stretch(g, th1, Stretch{1.5, 0.0}).satisfied;
     const bool ok2 = check_remote_stretch(g, th2, Stretch{1.0, 0.0}).satisfied;
     const bool ok3 =

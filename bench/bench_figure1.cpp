@@ -5,8 +5,8 @@
 
 #include "analysis/kconn_oracle.hpp"
 #include "analysis/stretch_oracle.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "graph/disjoint_paths.hpp"
 
 using namespace remspan;
@@ -28,9 +28,9 @@ int main() {
   const GeometricGraph gg = unit_ball_graph(std::move(points), MetricKind::L2, 1.0);
   const Graph& g = gg.graph;
 
-  const EdgeSet hb = build_k_connecting_spanner(g, 1);
-  const EdgeSet hc = build_low_stretch_remote_spanner(g, 1.0);
-  const EdgeSet hd = build_2connecting_spanner(g, 2);
+  const EdgeSet hb = api::build_spanner(g, "th2?k=1").edges;
+  const EdgeSet hc = api::build_spanner(g, "th1?eps=1").edges;
+  const EdgeSet hd = api::build_spanner(g, "th3?k=2").edges;
 
   const bool b_ok = check_remote_stretch(g, hb, Stretch{1, 0}).satisfied;
   const bool b_sparse = hb.size() < g.num_edges();

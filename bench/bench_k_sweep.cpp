@@ -3,9 +3,9 @@
 //              O(k^{2/3} n^{4/3} log n) expected edges — sublinear in k;
 //   Prop. 7:   each k-connecting (2,1)-dominating tree on a doubling UBG
 //              has O(k^2) edges, so Theorem 3's spanner stays near-linear.
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "core/dominating_tree.hpp"
-#include "core/remote_spanner.hpp"
 
 using namespace remspan;
 using namespace remspan::bench;
@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("k_sweep");
   report.seed(seed);
@@ -40,8 +41,11 @@ int main(int argc, char** argv) {
   const GeometricGraph ubg = paper_ubg(600, 6.0, 2, seed + 1);
   for (Dist k = 1; k <= k_max; ++k) {
     SpannerBuildInfo info2, info3;
-    const EdgeSet h2 = build_k_connecting_spanner(udg, k, &info2);
-    const EdgeSet h3 = build_2connecting_spanner(ubg.graph, k, &info3);
+    api::BuildContext ctx2, ctx3;
+    ctx2.info = &info2;
+    ctx3.info = &info3;
+    const EdgeSet h2 = api::build_spanner(udg, api::SpannerSpec::th2(k), ctx2).edges;
+    const EdgeSet h3 = api::build_spanner(ubg.graph, api::SpannerSpec::th3(k), ctx3).edges;
     const double norm =
         static_cast<double>(h2.size()) / std::pow(static_cast<double>(k), 2.0 / 3.0);
     table.add_row({std::to_string(k), std::to_string(h2.size()), format_double(norm, 0),

@@ -184,8 +184,12 @@ void BM_DisjointPathsOracle(benchmark::State& state) {
 BENCHMARK(BM_DisjointPathsOracle)->Unit(benchmark::kMillisecond);
 
 /// Console output as usual, plus seconds-per-iteration collected for the
-/// JSON report (benchmark names like "BM_DomTreeMis/3" become keys with the
-/// '/' flattened to '_').
+/// JSON report. Benchmark names like "BM_DomTreeMis/3" become keys with the
+/// '/' flattened to '_' and a "_seconds" suffix — the suffix is what makes
+/// bench_diff apply its one-sided timing rule to every micro value, so the
+/// committed BENCH_micro.json baseline gates the key SET hard (a benchmark
+/// silently disappearing is a regression) while time drift only fails past
+/// the generous --time-threshold CI passes.
 class CollectingReporter : public benchmark::ConsoleReporter {
  public:
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -194,7 +198,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
       std::string key = run.benchmark_name();
       std::replace(key.begin(), key.end(), '/', '_');
       seconds_per_iteration.emplace_back(
-          key, run.real_accumulated_time / static_cast<double>(run.iterations));
+          key + "_seconds", run.real_accumulated_time / static_cast<double>(run.iterations));
     }
     benchmark::ConsoleReporter::ReportRuns(runs);
   }

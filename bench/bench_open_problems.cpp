@@ -18,6 +18,7 @@
 #include <algorithm>
 
 #include "analysis/kconn_oracle.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "core/remote_spanner.hpp"
 #include "geom/synthetic.hpp"
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("open_problems");
   report.param("n", n);
@@ -77,7 +79,7 @@ int main(int argc, char** argv) {
       fams.push_back({"G(n,p)", connected_gnp(n, 12.0 / n, rng)});
       fams.push_back({"UDG", paper_udg(4.0, n, seed + 7)});
       for (const auto& [name, g] : fams) {
-        const EdgeSet h = build_2connecting_spanner(g, k);
+        const EdgeSet h = api::build_spanner(g, api::SpannerSpec::th3(k)).edges;
         const auto report =
             check_k_connecting_stretch(g, h, k, Stretch{2.0, -1.0}, pairs, seed);
         a_violations += report.violations;
@@ -105,9 +107,9 @@ int main(int argc, char** argv) {
       const auto seed = static_cast<std::uint64_t>(5000 + 100 * k + rep);
       Rng rng(seed);
       const Graph g = paper_udg(4.0, 2 * n, seed + 3);
-      EdgeSet candidate = build_low_stretch_remote_spanner(g, eps);
-      candidate |= build_2connecting_spanner(g, k);
-      const EdgeSet exact = build_k_connecting_spanner(g, k);
+      EdgeSet candidate = api::build_spanner(g, api::SpannerSpec::th1(eps)).edges;
+      candidate |= api::build_spanner(g, api::SpannerSpec::th3(k)).edges;
+      const EdgeSet exact = api::build_spanner(g, api::SpannerSpec::th2(k)).edges;
       const int c = smallest_additive(g, candidate, k, 1.0 + eps, pairs, seed);
       worst_c = std::max(worst_c, c);
       worst_size_ratio = std::max(worst_size_ratio, static_cast<double>(candidate.size()) /

@@ -20,9 +20,8 @@
 #include <string>
 #include <vector>
 
-#include "baseline/mpr.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "dynamic/churn_trace.hpp"
 #include "sim/reconvergence.hpp"
 
@@ -33,7 +32,7 @@ namespace {
 
 struct StrategyCase {
   std::string name;  // JSON key fragment
-  RemSpanConfig cfg;
+  api::SpannerSpec spec;  ///< protocol + centralized oracle both come from it
   ReconvergeStrategy strategy = ReconvergeStrategy::kIncremental;
 };
 
@@ -44,21 +43,16 @@ struct StrategyResult {
   bool equivalent = false;  // final spanner == centralized construction
 };
 
-EdgeSet centralized(const Graph& g, const RemSpanConfig& cfg) {
-  if (cfg.kind == RemSpanConfig::Kind::kOlsrMpr) return olsr_mpr_spanner(g);
-  return build_k_connecting_spanner(g, cfg.k);
-}
-
 StrategyResult replay(const ChurnTrace& trace, const StrategyCase& c) {
   StrategyResult result;
-  ReconvergenceSim sim(trace.initial_graph(), c.cfg, c.strategy);
-  result.initial = sim.initial_stats();
+  const auto sim = api::open_reconvergence_session(trace.initial_graph(), c.spec, c.strategy);
+  result.initial = sim->initial_stats();
   for (const auto& batch : trace.batches) {
-    result.batches.push_back(sim.apply_batch(batch));
+    result.batches.push_back(sim->apply_batch(batch));
   }
-  result.final_spanner_edges = sim.spanner().size();
-  result.equivalent =
-      sim.spanner().edge_list() == centralized(sim.graph(), c.cfg).edge_list();
+  result.final_spanner_edges = sim->spanner().size();
+  result.equivalent = sim->spanner().edge_list() ==
+                      api::build_spanner(sim->graph(), c.spec).edges.edge_list();
   return result;
 }
 
@@ -79,6 +73,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("reconvergence");
   report.seed(seed);
@@ -107,17 +102,14 @@ int main(int argc, char** argv) {
   const double region_radius =
       side * std::sqrt(churn / 3.14159265358979323846) + 0.5 * gg.radius;
 
-  RemSpanConfig remspan_cfg;
-  remspan_cfg.kind = RemSpanConfig::Kind::kKConnGreedy;
-  remspan_cfg.k = k;
-  RemSpanConfig mpr_cfg;
-  mpr_cfg.kind = RemSpanConfig::Kind::kOlsrMpr;
+  const api::SpannerSpec remspan_spec = api::SpannerSpec::th2(k);
+  const api::SpannerSpec mpr_spec = api::SpannerSpec::mpr();
 
   const StrategyCase cases[] = {
-      {"remspan_inc", remspan_cfg, ReconvergeStrategy::kIncremental},
-      {"remspan_reflood", remspan_cfg, ReconvergeStrategy::kFullReflood},
-      {"mpr_inc", mpr_cfg, ReconvergeStrategy::kIncremental},
-      {"mpr_reflood", mpr_cfg, ReconvergeStrategy::kFullReflood},
+      {"remspan_inc", remspan_spec, ReconvergeStrategy::kIncremental},
+      {"remspan_reflood", remspan_spec, ReconvergeStrategy::kFullReflood},
+      {"mpr_inc", mpr_spec, ReconvergeStrategy::kIncremental},
+      {"mpr_reflood", mpr_spec, ReconvergeStrategy::kFullReflood},
   };
   const std::pair<std::string, ChurnTrace> scenarios[] = {
       {"mobility", mobility_churn_trace(gg, batches, movers, 100 * seed + 1)},
@@ -135,13 +127,13 @@ int main(int argc, char** argv) {
     // Replay every strategy first: the summary's ratio column compares each
     // incremental run against its own protocol's re-flood strawman.
     std::vector<StrategyResult> results;
-    std::map<RemSpanConfig::Kind, std::uint64_t> reflood_msgs;
+    std::map<std::string, std::uint64_t> reflood_msgs;
     for (const StrategyCase& c : cases) {
       results.push_back(replay(trace, c));
       if (c.strategy == ReconvergeStrategy::kFullReflood) {
         std::uint64_t msgs = 0;
         for (const auto& b : results.back().batches) msgs += b.transmissions;
-        reflood_msgs[c.cfg.kind] = msgs;
+        reflood_msgs[c.spec.kind_name()] = msgs;
       }
     }
     for (std::size_t ci = 0; ci < std::size(cases); ++ci) {
@@ -171,7 +163,7 @@ int main(int argc, char** argv) {
       }
       const double msgs_per_batch =
           static_cast<double>(total_msgs) / static_cast<double>(r.batches.size());
-      const std::uint64_t strawman = reflood_msgs[c.cfg.kind];
+      const std::uint64_t strawman = reflood_msgs[c.spec.kind_name()];
       const std::string ratio =
           strawman == 0 ? "1.00"
                         : format_double(static_cast<double>(total_msgs) /

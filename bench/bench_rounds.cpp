@@ -4,6 +4,7 @@
 // and communication volume per node.
 #include <algorithm>
 
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "sim/remspan_protocol.hpp"
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("rounds");
   report.param("side", side);
@@ -32,40 +34,21 @@ int main(int argc, char** argv) {
   Table table({"n", "construction", "scope", "rounds", "paper", "tx/node", "words/node"});
   for (std::uint64_t n = 200; n <= n_max; n *= 2) {
     const Graph g = paper_udg(side, static_cast<double>(n), 70 + n);
+    // Protocol configs come from the registry by spec (eps=.5 -> r=3,
+    // eps=.25 -> r=5).
     struct Case {
       const char* name;
       RemSpanConfig cfg;
     };
-    std::vector<Case> cases;
-    {
-      RemSpanConfig c;
-      c.kind = RemSpanConfig::Kind::kKConnGreedy;
-      c.k = 1;
-      cases.push_back({"(1,0)-rem-span [Th.2 k=1]", c});
-    }
-    {
-      RemSpanConfig c;
-      c.kind = RemSpanConfig::Kind::kKConnMis;
-      c.k = 2;
-      cases.push_back({"2-conn (2,-1) [Th.3]", c});
-    }
-    {
-      RemSpanConfig c;
-      c.kind = RemSpanConfig::Kind::kOlsrMpr;
-      cases.push_back({"OLSR MPR union [RFC 3626]", c});
-    }
-    {
-      RemSpanConfig c;
-      c.kind = RemSpanConfig::Kind::kLowStretchMis;
-      c.r = 3;  // eps = 1/2
-      cases.push_back({"(1.5,0)-rem-span [Th.1 eps=.5]", c});
-    }
-    {
-      RemSpanConfig c;
-      c.kind = RemSpanConfig::Kind::kLowStretchMis;
-      c.r = 5;  // eps = 1/4
-      cases.push_back({"(1.25,.5)-rem-span [Th.1 eps=.25]", c});
-    }
+    const std::vector<Case> cases = {
+        {"(1,0)-rem-span [Th.2 k=1]", api::protocol_config(api::parse_spanner_spec("th2?k=1"))},
+        {"2-conn (2,-1) [Th.3]", api::protocol_config(api::parse_spanner_spec("th3?k=2"))},
+        {"OLSR MPR union [RFC 3626]", api::protocol_config(api::parse_spanner_spec("mpr"))},
+        {"(1.5,0)-rem-span [Th.1 eps=.5]",
+         api::protocol_config(api::parse_spanner_spec("th1?eps=0.5"))},
+        {"(1.25,.5)-rem-span [Th.1 eps=.25]",
+         api::protocol_config(api::parse_spanner_spec("th1?eps=0.25"))},
+    };
     for (const auto& [name, cfg] : cases) {
       const auto run = run_remspan_distributed(g, cfg);
       all_rounds_match = all_rounds_match && run.rounds == cfg.expected_rounds();

@@ -15,10 +15,9 @@
 // Stretch guarantees are verified with the exact oracles on every row.
 #include "analysis/kconn_oracle.hpp"
 #include "analysis/stretch_oracle.hpp"
-#include "baseline/baswana_sen.hpp"
+#include "api/registry.hpp"
 #include "baseline/greedy_spanner.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "geom/synthetic.hpp"
 
 using namespace remspan;
@@ -36,6 +35,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report json("table1");
   json.seed(seed);
@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
 
   // Row 1: (2k-1, 0)-spanner (Baswana-Sen) standing in for the (k,k-1) row.
   timer.reset();
-  const EdgeSet bs = baswana_sen_spanner(any_graph, k, rng);
+  api::BuildContext ctx;
+  ctx.rng = &rng;
+  const EdgeSet bs = api::build_spanner(any_graph, api::SpannerSpec::baswana(k), ctx).edges;
   const double t_bs = timer.seconds();
   table.add_row({"any graph", "(2k-1,0)-span. [Baswana-Sen]", "O(k n^{1+1/k})",
                  std::to_string(bs.size()), format_double(t_bs, 3),
@@ -93,7 +95,7 @@ int main(int argc, char** argv) {
 
   // Row 4: k-connecting (1,0)-remote-spanner (Theorem 2).
   timer.reset();
-  const EdgeSet kconn = build_k_connecting_spanner(any_graph, k);
+  const EdgeSet kconn = api::build_spanner(any_graph, api::SpannerSpec::th2(k)).edges;
   const double t_kconn = timer.seconds();
   const auto kconn_ok =
       check_k_connecting_stretch(any_graph, kconn, k, Stretch{1, 0}, 150, seed);
@@ -103,7 +105,7 @@ int main(int argc, char** argv) {
 
   // Row 5: (1,0)-remote-spanner on the paper's random UDG.
   timer.reset();
-  const EdgeSet udg_h = build_k_connecting_spanner(udg, 1);
+  const EdgeSet udg_h = api::build_spanner(udg, "th2?k=1").edges;
   const double t_udg = timer.seconds();
   table.add_row({"rand. UDG", "(1,0)-rem.-span. [Th.2, k=1]", "O(n^{4/3} log n)",
                  std::to_string(udg_h.size()), format_double(t_udg, 3),
@@ -118,7 +120,7 @@ int main(int argc, char** argv) {
 
   // Row 7: Theorem 1 on the same UBG, distances unknown.
   timer.reset();
-  const EdgeSet th1 = build_low_stretch_remote_spanner(ubg_g, eps);
+  const EdgeSet th1 = api::build_spanner(ubg_g, api::SpannerSpec::th1(eps)).edges;
   const double t_th1 = timer.seconds();
   table.add_row({"UBG unknown dist", "(1+eps,1-2eps)-rem.-span. [Th.1]", "O(n)",
                  std::to_string(th1.size()), format_double(t_th1, 3),
@@ -133,7 +135,7 @@ int main(int argc, char** argv) {
 
   // Row 9: Theorem 3 on the UBG.
   timer.reset();
-  const EdgeSet th3 = build_2connecting_spanner(ubg_g, 2);
+  const EdgeSet th3 = api::build_spanner(ubg_g, "th3?k=2").edges;
   const double t_th3 = timer.seconds();
   const auto th3_ok =
       check_k_connecting_stretch(ubg_g, th3, 2, Stretch{2, -1}, 150, seed);

@@ -11,8 +11,8 @@
 //      linearly with average degree while the constructions' edges/n
 //      saturates — the density-independent constant of the theorems,
 //      which no classical density-oblivious bound provides.
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "util/fit.hpp"
 
 using namespace remspan;
@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("ubg_linear");
   report.param("side", side);
@@ -46,8 +47,8 @@ int main(int argc, char** argv) {
   for (std::size_t n = 250; n <= n_max; n *= 2) {
     const GeometricGraph gg = paper_ubg(n, side, dim, 40 + n);
     const Graph& g = gg.graph;
-    const EdgeSet th1 = build_low_stretch_remote_spanner(g, eps);
-    const EdgeSet th3 = build_2connecting_spanner(g, 2);
+    const EdgeSet th1 = api::build_spanner(g, api::SpannerSpec::th1(eps)).edges;
+    const EdgeSet th3 = api::build_spanner(g, api::SpannerSpec::th3(2)).edges;
     const auto nn = static_cast<double>(g.num_nodes());
     ns.push_back(nn);
     ge.push_back(static_cast<double>(g.num_edges()));
@@ -76,8 +77,8 @@ int main(int argc, char** argv) {
   for (const double s : {11.0, 9.0, 7.5, 6.0, 5.0, 4.2}) {
     const GeometricGraph gg = paper_ubg(n_fixed, s, dim, 90 + static_cast<std::uint64_t>(s * 10));
     const Graph& g = gg.graph;
-    const EdgeSet th1 = build_low_stretch_remote_spanner(g, eps);
-    const EdgeSet th3 = build_2connecting_spanner(g, 2);
+    const EdgeSet th1 = api::build_spanner(g, api::SpannerSpec::th1(eps)).edges;
+    const EdgeSet th3 = api::build_spanner(g, api::SpannerSpec::th3(2)).edges;
     const auto nn = static_cast<double>(g.num_nodes());
     degs.push_back(g.average_degree());
     gn.push_back(static_cast<double>(g.num_edges()) / nn);

@@ -6,8 +6,8 @@
 // Expected shape: full-topology exponent ~2, remote-spanner exponent well
 // below it, compatible with 4/3 (+ log factor); the k = 2 variant scales
 // the same way with a k^{2/3} size factor.
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "core/remote_spanner.hpp"
 #include "util/fit.hpp"
 #include "util/thread_pool.hpp"
 
@@ -50,6 +50,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Report report("udg_scaling");
   report.param("side", side);
@@ -69,8 +70,8 @@ int main(int argc, char** argv) {
       const Graph g = paper_udg(side, static_cast<double>(n), 100 * n + s);
       sum_nodes += g.num_nodes();
       sum_full += static_cast<double>(g.num_edges());
-      sum_h1 += static_cast<double>(build_k_connecting_spanner(g, 1).size());
-      sum_h2 += static_cast<double>(build_k_connecting_spanner(g, 2).size());
+      sum_h1 += static_cast<double>(api::build_spanner(g, "th2?k=1").edges.size());
+      sum_h2 += static_cast<double>(api::build_spanner(g, "th2?k=2").edges.size());
     }
     const double nodes = sum_nodes / static_cast<double>(seeds);
     const double fe = sum_full / static_cast<double>(seeds);

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Rng rng(seed);
   const auto gg = uniform_unit_ball_graph(n, side, 2, rng);

@@ -15,7 +15,7 @@
 
 #include "analysis/kconn_oracle.hpp"
 #include "analysis/stretch_oracle.hpp"
-#include "core/remote_spanner.hpp"
+#include "api/registry.hpp"
 #include "geom/ball_graph.hpp"
 #include "graph/disjoint_paths.hpp"
 #include "graph/graphio.hpp"
@@ -31,6 +31,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   // Figure 1 analogue. u and v sit at graph distance 2 through the middle
   // node m; two parallel relay chains y-x and y'-x' provide the detours.
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
   std::cout << "\nnode names: 0=u 1=m 2=v 3=y 4=x 5=y' 6=x'\n\n";
 
   // (b) (1,0)-remote-spanner: sparser than G yet distance-exact.
-  const EdgeSet hb = build_k_connecting_spanner(g, 1);
+  const EdgeSet hb = api::build_spanner(g, "th2?k=1").edges;
   const auto rb = check_remote_stretch(g, hb, Stretch{1, 0});
   std::cout << "(b) (1,0)-remote-spanner H^b: " << hb.size() << "/" << g.num_edges()
             << " edges, exact distances: " << (rb.satisfied ? "verified" : "VIOLATED")
@@ -64,7 +65,7 @@ int main(int argc, char** argv) {
             << "  (edge uy only present inside H^b_u, as in the caption)\n\n";
 
   // (c) (2,-1)-remote-spanner: the eps = 1 case of Theorem 1.
-  const EdgeSet hc = build_low_stretch_remote_spanner(g, 1.0);
+  const EdgeSet hc = api::build_spanner(g, "th1?eps=1").edges;
   const auto rc = check_remote_stretch(g, hc, Stretch{2, -1});
   const DistanceMatrix dhc = remote_distances(g, hc);
   std::cout << "(c) (2,-1)-remote-spanner H^c: " << hc.size() << "/" << g.num_edges()
@@ -74,7 +75,7 @@ int main(int argc, char** argv) {
             << ", d_{H^c_u}(u,v) = " << dhc(u, v) << " (bound 2*2-1 = 3)\n\n";
 
   // (d) 2-connecting (2,-1)-remote-spanner: two disjoint u-v paths survive.
-  const EdgeSet hd = build_2connecting_spanner(g, 2);
+  const EdgeSet hd = api::build_spanner(g, "th3?k=2").edges;
   const auto rd = check_k_connecting_stretch(g, hd, 2, Stretch{2, -1});
   std::cout << "(d) 2-connecting (2,-1)-remote-spanner H^d: " << hd.size() << "/"
             << g.num_edges() << " edges, 2-connecting stretch: "

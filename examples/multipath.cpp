@@ -5,7 +5,7 @@
 //   ./multipath [--n 250] [--side 4.5] [--pairs 6] [--seed 5]
 #include <iostream>
 
-#include "core/remote_spanner.hpp"
+#include "api/registry.hpp"
 #include "geom/ball_graph.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/disjoint_paths.hpp"
@@ -38,12 +38,13 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   Rng rng(seed);
   const auto gg = uniform_unit_ball_graph(n, side, 2, rng);
   const Graph g = largest_component(gg.graph);
-  const EdgeSet h2 = build_2connecting_spanner(g, 2);
-  const EdgeSet h1 = build_k_connecting_spanner(g, 1);
+  const EdgeSet h2 = api::build_spanner(g, "th3?k=2").edges;
+  const EdgeSet h1 = api::build_spanner(g, "th2?k=1").edges;
   std::cout << "network n=" << g.num_nodes() << " m=" << g.num_edges()
             << " | 2-connecting spanner: " << h2.size()
             << " edges | (1,0)-remote-spanner: " << h1.size() << " edges\n\n";

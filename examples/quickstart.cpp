@@ -8,7 +8,7 @@
 #include "analysis/kconn_oracle.hpp"
 #include "analysis/spanner_stats.hpp"
 #include "analysis/stretch_oracle.hpp"
-#include "core/remote_spanner.hpp"
+#include "api/registry.hpp"
 #include "geom/ball_graph.hpp"
 #include "graph/connectivity.hpp"
 #include "sim/routing.hpp"
@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     std::cout << opts.usage();
     return 0;
   }
+  if (!opts.reject_unknown(std::cerr)) return 2;
 
   // 1. A unit disk graph: the paper's ad-hoc network model.
   Rng rng(seed);
@@ -35,9 +36,9 @@ int main(int argc, char** argv) {
             << " avg_degree=" << format_double(g.average_degree(), 1) << "\n\n";
 
   // 2. The three constructions of Theorems 1-3.
-  const EdgeSet exact = build_k_connecting_spanner(g, 1);         // (1,0)
-  const EdgeSet low_stretch = build_low_stretch_remote_spanner(g, 0.5);  // (1.5, 0)
-  const EdgeSet two_conn = build_2connecting_spanner(g, 2);       // 2-conn (2,-1)
+  const EdgeSet exact = api::build_spanner(g, "th2?k=1").edges;          // (1,0)
+  const EdgeSet low_stretch = api::build_spanner(g, "th1?eps=0.5").edges;  // (1.5, 0)
+  const EdgeSet two_conn = api::build_spanner(g, "th3?k=2").edges;        // 2-conn (2,-1)
 
   Table table({"construction", "edges", "% of input", "guarantee", "verified"});
   auto add_row = [&](const char* name, const EdgeSet& h, const char* guarantee,

@@ -166,6 +166,22 @@ GraphDelta diff_graphs(const Graph& old_graph, const Graph& new_graph) {
   return delta;
 }
 
+namespace {
+
+std::vector<NodeId> endpoints_of(std::span<const Edge> edges) {
+  std::vector<NodeId> out;
+  out.reserve(2 * edges.size());
+  for (const Edge& e : edges) {
+    out.push_back(e.u);
+    out.push_back(e.v);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
 std::vector<NodeId> touched_endpoints(const GraphDelta& delta) {
   std::vector<NodeId> touched;
   touched.reserve(2 * (delta.removed.size() + delta.inserted.size()));
@@ -180,6 +196,14 @@ std::vector<NodeId> touched_endpoints(const GraphDelta& delta) {
   std::sort(touched.begin(), touched.end());
   touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
   return touched;
+}
+
+std::vector<NodeId> removed_endpoints(const GraphDelta& delta) {
+  return endpoints_of(delta.removed);
+}
+
+std::vector<NodeId> inserted_endpoints(const GraphDelta& delta) {
+  return endpoints_of(delta.inserted);
 }
 
 }  // namespace remspan

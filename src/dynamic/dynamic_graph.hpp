@@ -136,4 +136,10 @@ struct GraphDelta {
 /// set for the dirty-root ball expansion.
 [[nodiscard]] std::vector<NodeId> touched_endpoints(const GraphDelta& delta);
 
+/// Per-side seed sets: removals dirty roots at OLD distances, insertions at
+/// NEW ones (the decremental/incremental fast path of IncrementalSpanner
+/// expands each side only in the snapshot where its edges exist).
+[[nodiscard]] std::vector<NodeId> removed_endpoints(const GraphDelta& delta);
+[[nodiscard]] std::vector<NodeId> inserted_endpoints(const GraphDelta& delta);
+
 }  // namespace remspan

@@ -95,13 +95,25 @@ const char* IncrementalConfig::name() const noexcept {
 std::vector<NodeId> collect_dirty_roots(const Graph& old_graph, const Graph& new_graph,
                                         std::span<const NodeId> touched, Dist radius,
                                         BoundedBfs& bfs, std::vector<std::uint8_t>& flag) {
+  return collect_dirty_roots_split(old_graph, new_graph, touched, touched, radius, bfs, flag);
+}
+
+std::vector<NodeId> collect_dirty_roots_split(const Graph& old_graph, const Graph& new_graph,
+                                              std::span<const NodeId> removed_touched,
+                                              std::span<const NodeId> inserted_touched,
+                                              Dist radius, BoundedBfs& bfs,
+                                              std::vector<std::uint8_t>& flag) {
   REMSPAN_CHECK(old_graph.num_nodes() == new_graph.num_nodes());
   flag.assign(old_graph.num_nodes(), 0);
-  for (const NodeId v : bfs.run_multi(GraphView(old_graph), touched, radius)) {
-    flag[v] = 1;
+  if (!removed_touched.empty()) {
+    for (const NodeId v : bfs.run_multi(GraphView(old_graph), removed_touched, radius)) {
+      flag[v] = 1;
+    }
   }
-  for (const NodeId v : bfs.run_multi(GraphView(new_graph), touched, radius)) {
-    flag[v] = 1;
+  if (!inserted_touched.empty()) {
+    for (const NodeId v : bfs.run_multi(GraphView(new_graph), inserted_touched, radius)) {
+      flag[v] = 1;
+    }
   }
   std::vector<NodeId> dirty;
   for (NodeId v = 0; v < flag.size(); ++v) {
@@ -190,13 +202,16 @@ ChurnBatchStats IncrementalSpanner::apply_batch(std::span<const GraphEvent> even
   stats.removed_edges = delta.removed.size();
   stats.inserted_edges = delta.inserted.size();
 
-  // Dirty roots: everything within the dirty radius of a touched endpoint
-  // in either snapshot (removals matter at old distances, insertions at
-  // new ones). One multi-source bounded BFS per snapshot.
+  // Dirty roots, one bounded BFS per side with a changed edge: removals
+  // matter at OLD distances (the stored trees read them there), insertions
+  // at NEW ones. A removal-only batch — the decremental fast path — costs
+  // a single old-snapshot BFS and an insertion-only batch the mirror; see
+  // collect_dirty_roots_split for why the per-side expansion stays exact.
   const std::vector<NodeId> touched = touched_endpoints(delta);
   stats.touched_nodes = touched.size();
-  dirty_ = collect_dirty_roots(*old_graph, *new_graph, touched, config_.dirty_radius(),
-                               dirty_bfs_, dirty_flag_);
+  dirty_ = collect_dirty_roots_split(*old_graph, *new_graph, removed_endpoints(delta),
+                                     inserted_endpoints(delta), config_.dirty_radius(),
+                                     dirty_bfs_, dirty_flag_);
   stats.dirty_roots = dirty_.size();
 
   auto& pool = ThreadPool::global();

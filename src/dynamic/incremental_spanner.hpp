@@ -110,6 +110,32 @@ struct IncrementalConfig {
                                                       BoundedBfs& bfs,
                                                       std::vector<std::uint8_t>& flag);
 
+/// Per-side variant — the decremental/incremental fast path: expands
+/// `removed_touched` only in the OLD snapshot and `inserted_touched` only
+/// in the NEW one. Exact by the same dependency argument as above, one
+/// direction each:
+///   * a root w clean under this seeding reads no removed edge (it would
+///     need an endpoint within `radius` at old distances) and no inserted
+///     edge (within `radius` at new distances);
+///   * therefore every <= radius path from w in either snapshot uses only
+///     common edges — a new-snapshot shortcut into w's ball would put an
+///     inserted endpoint inside it — so the two balls and everything the
+///     deterministic tree build reads coincide, and w's tree is unchanged.
+/// A removal-only batch thus costs ONE bounded BFS (the new-graph side has
+/// no seeds), an insertion-only batch likewise, and mixed batches get a
+/// strictly smaller dirty set than the symmetric expansion.
+///
+/// NOTE an edge removal outside every stored tree (union refcount 0) does
+/// NOT permit skipping its ball: the greedy/MIS builds read non-tree edges
+/// through their cover/independence scans, and removing one can flip a
+/// pick (tests/test_incremental_spanner.cpp pins a counterexample). The
+/// ROADMAP's stronger "refcount-0 removal needs no rebuild" conjecture is
+/// refuted — this per-side expansion is the exact sound fast path.
+[[nodiscard]] std::vector<NodeId> collect_dirty_roots_split(
+    const Graph& old_graph, const Graph& new_graph, std::span<const NodeId> removed_touched,
+    std::span<const NodeId> inserted_touched, Dist radius, BoundedBfs& bfs,
+    std::vector<std::uint8_t>& flag);
+
 /// Per-batch accounting, reported by bench_churn and the remspan_tool
 /// churn-replay mode.
 struct ChurnBatchStats {

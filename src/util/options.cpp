@@ -69,6 +69,24 @@ bool Options::get_flag(const std::string& name) {
   return false;
 }
 
+std::int64_t Options::require_int(const std::string& name) {
+  described_.emplace_back(name, "(required)");
+  if (const auto v = lookup(name)) return std::stoll(*v);
+  throw MissingOptionError("missing required option --" + name);
+}
+
+double Options::require_double(const std::string& name) {
+  described_.emplace_back(name, "(required)");
+  if (const auto v = lookup(name)) return std::stod(*v);
+  throw MissingOptionError("missing required option --" + name);
+}
+
+std::string Options::require_string(const std::string& name) {
+  described_.emplace_back(name, "(required)");
+  if (const auto v = lookup(name)) return *v;
+  throw MissingOptionError("missing required option --" + name);
+}
+
 std::string Options::usage() const {
   std::ostringstream out;
   out << "options:\n";
@@ -84,6 +102,14 @@ std::vector<std::string> Options::unknown_options() const {
     if (!used) out.push_back(name);
   }
   return out;
+}
+
+bool Options::reject_unknown(std::ostream& err) const {
+  const auto unknown = unknown_options();
+  for (const auto& name : unknown) {
+    err << "unknown option --" << name << " (--help lists the options)\n";
+  }
+  return unknown.empty();
 }
 
 }  // namespace remspan

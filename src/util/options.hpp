@@ -1,14 +1,29 @@
 // Minimal command-line option parser used by every bench and example binary.
 // Syntax: --name value or --name=value; --help prints registered options.
+//
+// Typo protection: after querying every option it understands, a binary
+// calls reject_unknown(std::cerr) and exits 2 when it returns false — a
+// misspelled flag (--constrution) names itself instead of silently running
+// the default. Options a mode cannot run without use the require_* forms,
+// which throw MissingOptionError (callers map it to exit code 2).
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace remspan {
+
+/// Thrown by the require_* accessors when the option is absent; what()
+/// names the missing flag.
+class MissingOptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Options {
  public:
@@ -22,6 +37,16 @@ class Options {
   [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback);
   [[nodiscard]] bool get_flag(const std::string& name);
 
+  /// Like the get_* forms but with no fallback: the option must be present
+  /// on the command line or MissingOptionError is thrown.
+  [[nodiscard]] std::int64_t require_int(const std::string& name);
+  [[nodiscard]] double require_double(const std::string& name);
+  [[nodiscard]] std::string require_string(const std::string& name);
+
+  /// Whether the option was passed on the command line. Does not mark it
+  /// consumed — callers still query it through a get_*/require_* form.
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) != 0; }
+
   /// True if --help was passed; callers should print usage() and exit.
   [[nodiscard]] bool help_requested() const noexcept { return help_; }
 
@@ -31,6 +56,11 @@ class Options {
   /// Options present on the command line that were never queried; useful to
   /// catch typos in bench invocations.
   [[nodiscard]] std::vector<std::string> unknown_options() const;
+
+  /// Typo gate: prints "unknown option --<name>" to `err` for every flag
+  /// that was passed but never queried and returns false if there were any.
+  /// Call after the last get_*/require_*; exit 2 on false.
+  [[nodiscard]] bool reject_unknown(std::ostream& err) const;
 
  private:
   void parse(const std::vector<std::string>& tokens);

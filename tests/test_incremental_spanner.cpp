@@ -233,6 +233,145 @@ TEST(IncrementalSpanner, ChurnTraceReplayStaysEquivalent) {
   }
 }
 
+TEST(IncrementalSpanner, RemovalOnlyBatchExpandsOldSnapshotBallOnly) {
+  // Decremental fast path: a batch with no insertions seeds the dirty
+  // expansion only in the OLD snapshot (one bounded BFS), and that ball is
+  // exactly what the engine marks dirty — still a superset of every
+  // changed tree (bit-exactness is asserted on top).
+  for (const IncrementalConfig& cfg :
+       {IncrementalConfig::k_connecting(1), IncrementalConfig::low_stretch(0.5)}) {
+    Rng rng(17);
+    DynamicGraph dg(make_family(0, 6));
+    IncrementalSpanner inc(dg, cfg);
+    const auto old_graph = dg.snapshot();
+    std::vector<GraphEvent> batch;
+    for (EdgeId id = 0; id < old_graph->num_edges(); id += 7) {
+      const Edge e = old_graph->edge(id);
+      batch.push_back(GraphEvent::edge_down(e.u, e.v));
+    }
+    inc.apply_batch(batch);
+    ASSERT_EQ(inc.spanner(), cfg.build_full(inc.graph()));
+
+    // Expected dirty set: ball of the removed endpoints at OLD distances.
+    std::vector<NodeId> touched;
+    for (const auto& e : batch) {
+      touched.push_back(e.u);
+      touched.push_back(e.v);
+    }
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    BoundedBfs bfs(old_graph->num_nodes());
+    std::vector<std::uint8_t> flag(old_graph->num_nodes(), 0);
+    for (const NodeId v : bfs.run_multi(GraphView(*old_graph), touched, cfg.dirty_radius())) {
+      flag[v] = 1;
+    }
+    std::vector<NodeId> expected;
+    for (NodeId v = 0; v < flag.size(); ++v) {
+      if (flag[v] != 0) expected.push_back(v);
+    }
+    EXPECT_EQ(inc.last_dirty_roots(), expected) << cfg.name();
+  }
+}
+
+TEST(IncrementalSpanner, InsertionOnlyBatchExpandsNewSnapshotBallOnly) {
+  const IncrementalConfig cfg = IncrementalConfig::low_stretch(0.5);
+  DynamicGraph dg(make_family(1, 7));
+  IncrementalSpanner inc(dg, cfg);
+  const NodeId n = dg.num_nodes();
+  std::vector<GraphEvent> batch;
+  for (NodeId v = 0; v + 7 < n; v += 13) {
+    if (!inc.graph().has_edge(v, v + 7)) batch.push_back(GraphEvent::edge_up(v, v + 7));
+  }
+  ASSERT_FALSE(batch.empty());
+  inc.apply_batch(batch);
+  const auto new_graph = dg.snapshot();
+  ASSERT_EQ(inc.spanner(), cfg.build_full(*new_graph));
+
+  std::vector<NodeId> touched;
+  for (const auto& e : batch) {
+    touched.push_back(e.u);
+    touched.push_back(e.v);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  BoundedBfs bfs(n);
+  std::vector<std::uint8_t> flag(n, 0);
+  for (const NodeId v : bfs.run_multi(GraphView(*new_graph), touched, cfg.dirty_radius())) {
+    flag[v] = 1;
+  }
+  std::vector<NodeId> expected;
+  for (NodeId v = 0; v < flag.size(); ++v) {
+    if (flag[v] != 0) expected.push_back(v);
+  }
+  EXPECT_EQ(inc.last_dirty_roots(), expected);
+}
+
+TEST(IncrementalSpanner, AlternatingPureBatchesStayBitExactAndSuperset) {
+  // Pure-removal and pure-insertion batches in alternation (each one takes
+  // the single-BFS fast path) keep both core invariants: bit-exactness and
+  // dirty-superset-of-changed-trees.
+  const IncrementalConfig cfg = IncrementalConfig::r_beta_tree(3, 1, TreeAlgorithm::kGreedy);
+  Rng rng(23);
+  DynamicGraph dg(make_family(2, 11));
+  IncrementalSpanner inc(dg, cfg);
+  std::vector<Edge> parked;  // removed edges waiting to be re-inserted
+  for (int step = 0; step < 6; ++step) {
+    const auto old_graph = dg.snapshot();
+    const auto old_trees = all_trees(*old_graph, cfg);
+    std::vector<GraphEvent> batch;
+    if (step % 2 == 0) {
+      for (int i = 0; i < 5 && old_graph->num_edges() > 0; ++i) {
+        const Edge e =
+            old_graph->edge(static_cast<EdgeId>(rng.uniform(old_graph->num_edges())));
+        batch.push_back(GraphEvent::edge_down(e.u, e.v));
+        parked.push_back(e);
+      }
+    } else {
+      for (const Edge& e : parked) batch.push_back(GraphEvent::edge_up(e.u, e.v));
+      parked.clear();
+    }
+    inc.apply_batch(batch);
+    ASSERT_EQ(inc.spanner(), cfg.build_full(inc.graph())) << "step " << step;
+    const auto new_trees = all_trees(inc.graph(), cfg);
+    const auto& dirty = inc.last_dirty_roots();
+    for (NodeId u = 0; u < dg.num_nodes(); ++u) {
+      if (old_trees[u] != new_trees[u]) {
+        EXPECT_TRUE(std::binary_search(dirty.begin(), dirty.end(), u))
+            << "root " << u << " changed but was not marked dirty (step " << step << ")";
+      }
+    }
+  }
+}
+
+TEST(IncrementalSpanner, RefcountZeroRemovalSkipWouldBeUnsound) {
+  // The ROADMAP conjectured that removing an edge OUTSIDE every stored tree
+  // (union refcount 0) needs no rebuild. That is false: the greedy cover
+  // scans read non-tree edges, and removing one can flip a pick. This test
+  // pins a counterexample so the conjecture is not "re-implemented" later:
+  // it finds a refcount-0 edge whose removal changes some root's tree.
+  const IncrementalConfig cfg = IncrementalConfig::k_connecting(1);
+  bool counterexample_found = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !counterexample_found; ++seed) {
+    Rng rng(seed);
+    const Graph g = gnp(20, 0.25, rng);
+    const auto trees = all_trees(g, cfg);
+    std::vector<std::uint32_t> ref(g.num_edges(), 0);
+    for (const auto& tree : trees) {
+      for (const Edge& e : tree) ++ref[g.find_edge(e.u, e.v)];
+    }
+    for (EdgeId id = 0; id < g.num_edges() && !counterexample_found; ++id) {
+      if (ref[id] != 0) continue;
+      std::vector<Edge> edges(g.edges().begin(), g.edges().end());
+      edges.erase(edges.begin() + id);
+      const Graph without = Graph::from_canonical_edges(g.num_nodes(), std::move(edges));
+      counterexample_found = all_trees(without, cfg) != trees;
+    }
+  }
+  EXPECT_TRUE(counterexample_found)
+      << "no refcount-0 removal changed any tree across the sampled graphs — if the "
+         "builders changed to make the skip sound, IncrementalSpanner can adopt it";
+}
+
 TEST(IncrementalSpanner, LargeSingleBatchEqualsRebuild) {
   // A batch that churns a large fraction of the graph still lands bit-exact
   // (most roots go dirty; exercises the remap path under heavy turnover).

@@ -314,6 +314,37 @@ TEST(Options, HelpAndUnknown) {
   EXPECT_EQ(unknown[0], "typo");
 }
 
+TEST(Options, RejectUnknownNamesTheOffendingFlag) {
+  Options opts({"--constrution", "th1", "--n", "5"});
+  (void)opts.get_int("n", 1);
+  std::ostringstream err;
+  EXPECT_FALSE(opts.reject_unknown(err));
+  EXPECT_NE(err.str().find("--constrution"), std::string::npos);
+  // A fully-consumed command line passes silently.
+  Options clean({"--n", "5"});
+  (void)clean.get_int("n", 1);
+  std::ostringstream quiet;
+  EXPECT_TRUE(clean.reject_unknown(quiet));
+  EXPECT_TRUE(quiet.str().empty());
+}
+
+TEST(Options, RequireFormsThrowWhenAbsent) {
+  Options opts({"--trace", "t.txt", "--k", "3", "--eps", "0.25"});
+  EXPECT_EQ(opts.require_string("trace"), "t.txt");
+  EXPECT_EQ(opts.require_int("k"), 3);
+  EXPECT_DOUBLE_EQ(opts.require_double("eps"), 0.25);
+  EXPECT_THROW((void)opts.require_string("churn-trace"), MissingOptionError);
+  try {
+    (void)opts.require_int("missing");
+    FAIL() << "require_int should have thrown";
+  } catch (const MissingOptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--missing"), std::string::npos);
+  }
+  // has() reports presence without consuming.
+  EXPECT_TRUE(opts.has("trace"));
+  EXPECT_FALSE(opts.has("absent"));
+}
+
 TEST(Table, AlignedOutputAndCsv) {
   Table t({"name", "value"});
   t.add("alpha", 1.5);

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Gate on the remspan_c export surface: every strong global symbol the
+# shared library defines (nm -D types T/D/B/R) must be remspan_-prefixed.
+# Weak/unique vague-linkage symbols (V/W/u — libstdc++ template RTTI and
+# friends) are linkage artifacts of building C++ behind the C ABI and are
+# allowed; they are not part of the ABI surface.
+#
+# Usage: check_c_abi_symbols.sh <path/to/libremspan_c.so>
+# Exit 0 when the surface is clean, 1 on leaked symbols, 2 on usage errors.
+set -u
+
+lib="${1:-}"
+if [ -z "$lib" ] || [ ! -f "$lib" ]; then
+  echo "usage: $0 <path/to/libremspan_c.so>" >&2
+  exit 2
+fi
+if ! command -v nm >/dev/null 2>&1; then
+  echo "check_c_abi_symbols: nm not found" >&2
+  exit 2
+fi
+
+leaked=$(nm -D --defined-only "$lib" | awk '$2 ~ /^[TDBR]$/ { print $3 }' |
+  grep -v '^remspan_' || true)
+
+exported=$(nm -D --defined-only "$lib" | awk '$2 ~ /^[TDBR]$/' | grep -c 'remspan_')
+if [ "$exported" -eq 0 ]; then
+  echo "check_c_abi_symbols: no remspan_ exports found in $lib (wrong file?)" >&2
+  exit 1
+fi
+
+if [ -n "$leaked" ]; then
+  echo "check_c_abi_symbols: non-remspan_ strong symbols exported from $lib:" >&2
+  echo "$leaked" >&2
+  exit 1
+fi
+
+echo "check_c_abi_symbols: OK ($exported remspan_ exports, no leaks)"
+exit 0
