@@ -57,7 +57,7 @@ std::size_t optimal_k_cover(const Graph& g, NodeId u, Dist k) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<NodeId>(opts.get_int("n", 70));
   const auto reps = static_cast<int>(opts.get_int("reps", 10));
@@ -143,3 +143,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -91,7 +91,7 @@ void compare_on(const std::string& label, const Graph& g, std::uint64_t seed,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const double mean_n = opts.get_double("n-udg", 600);
   const auto n_gnp = static_cast<NodeId>(opts.get_int("n-gnp", 450));
@@ -121,3 +121,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -81,7 +81,7 @@ ScenarioResult run_scenario(const std::string& name, const ChurnTrace& trace,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<std::size_t>(opts.get_int("n", 3200));
   const double side = opts.get_double("side", 35.0);
@@ -176,3 +176,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

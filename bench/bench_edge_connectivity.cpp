@@ -18,7 +18,7 @@
 using namespace remspan;
 using namespace remspan::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<NodeId>(opts.get_int("n", 150));
   const auto pairs = static_cast<std::size_t>(opts.get_int("pairs", 250));
@@ -93,3 +93,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -12,7 +12,7 @@
 using namespace remspan;
 using namespace remspan::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<std::size_t>(opts.get_int("n", 800));
   const double side = opts.get_double("side", 6.0);
@@ -74,3 +74,5 @@ int main(int argc, char** argv) {
   json.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -12,7 +12,7 @@
 using namespace remspan;
 using namespace remspan::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<NodeId>(opts.get_int("n", 300));
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 61));
@@ -71,3 +71,5 @@ int main(int argc, char** argv) {
   report.finish();
   return all_ok ? 0 : 1;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

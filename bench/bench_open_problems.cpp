@@ -42,7 +42,7 @@ int smallest_additive(const Graph& g, const EdgeSet& h, Dist k, double alpha,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<NodeId>(opts.get_int("n", 120));
   const auto pairs = static_cast<std::size_t>(opts.get_int("pairs", 200));
@@ -133,3 +133,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -58,7 +58,7 @@ StrategyResult replay(const ChurnTrace& trace, const StrategyCase& c) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<std::size_t>(opts.get_int("n", 400));
   const double side = opts.get_double("side", 12.5);
@@ -202,3 +202,5 @@ int main(int argc, char** argv) {
   report.finish();
   return all_equivalent ? 0 : 1;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -11,7 +11,7 @@
 using namespace remspan;
 using namespace remspan::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const double side = opts.get_double("side", 7.0);
   const auto n_max = static_cast<std::uint64_t>(opts.get_int("n-max", 800));
@@ -77,3 +77,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

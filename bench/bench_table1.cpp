@@ -23,7 +23,7 @@
 using namespace remspan;
 using namespace remspan::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n_any = static_cast<NodeId>(opts.get_int("n-any", 400));
   const double mean_udg = opts.get_double("n-udg", 600);
@@ -161,3 +161,5 @@ int main(int argc, char** argv) {
   json.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

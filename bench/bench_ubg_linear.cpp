@@ -18,7 +18,7 @@
 using namespace remspan;
 using namespace remspan::bench;
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const double side = opts.get_double("side", 8.0);
   const double eps = opts.get_double("eps", 0.5);
@@ -101,3 +101,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -37,7 +37,7 @@ double peak_rss_bytes() {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int bench_main(int argc, char** argv) {
   Options opts(argc, argv);
   const double side = opts.get_double("side", 8.0);
   const auto seeds = static_cast<std::uint64_t>(opts.get_int("seeds", 3));
@@ -128,3 +128,5 @@ int main(int argc, char** argv) {
   report.finish();
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

@@ -19,7 +19,7 @@
 
 using namespace remspan;
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<std::size_t>(opts.get_int("n", 300));
   const double side = opts.get_double("side", 5.0);
@@ -91,3 +91,5 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(tool_main, argc, argv); }

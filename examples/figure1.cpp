@@ -24,7 +24,7 @@
 
 using namespace remspan;
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opts(argc, argv);
   const bool dot = opts.get_flag("dot");
   if (opts.help_requested()) {
@@ -96,3 +96,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(tool_main, argc, argv); }

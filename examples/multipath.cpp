@@ -28,7 +28,7 @@ EdgeSet without_node(const EdgeSet& h, NodeId failed) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<std::size_t>(opts.get_int("n", 250));
   const double side = opts.get_double("side", 4.5);
@@ -81,3 +81,5 @@ int main(int argc, char** argv) {
                "pair when its only advertised shortest path dies.\n";
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(tool_main, argc, argv); }

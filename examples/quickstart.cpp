@@ -17,7 +17,7 @@
 
 using namespace remspan;
 
-int main(int argc, char** argv) {
+int tool_main(int argc, char** argv) {
   Options opts(argc, argv);
   const auto n = static_cast<std::size_t>(opts.get_int("n", 400));
   const double side = opts.get_double("side", 6.0);
@@ -70,3 +70,5 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+int main(int argc, char** argv) { return cli_main(tool_main, argc, argv); }

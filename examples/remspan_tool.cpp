@@ -60,8 +60,7 @@ api::GraphSpec graph_spec_from_flags(Options& opts) {
   if (gen == "ba") return api::GraphSpec::ba(n, m);
   if (gen == "ws") return api::GraphSpec::ws(n, ring, rewire);
   if (gen == "grid") return api::GraphSpec::grid(n);
-  std::cerr << "unknown --gen " << gen << " (udg|gnp|ba|ws|grid)\n";
-  std::exit(2);
+  throw BadOptionError("option --gen expects udg|gnp|ba|ws|grid, got '" + gen + "'");
 }
 
 /// Resolves --construction (a registered name or a full spec string) and
@@ -69,7 +68,7 @@ api::GraphSpec graph_spec_from_flags(Options& opts) {
 /// flag semantics are preserved: --k 1 means "the construction's natural
 /// minimum" for th3 and baswana (both need k >= 2).
 api::SpannerSpec spanner_spec_from_flags(const std::string& construction, Options& opts,
-                                         std::uint64_t seed) {
+                                         std::uint64_t seed, bool& spec_seed_explicit) {
   api::SpannerSpec spec = api::parse_spanner_spec(construction);
   const double eps = opts.get_double("eps", 0.5);
   const auto k = static_cast<Dist>(opts.get_int("k", 1));
@@ -84,10 +83,11 @@ api::SpannerSpec spanner_spec_from_flags(const std::string& construction, Option
   if (opts.has("t") && spec.kind == Kind::kGreedy) spec.t = t;
   // An explicit seed inside the spec string ("baswana?k=2&seed=5") wins;
   // otherwise the CLI --seed RNG is threaded through the build (see
-  // tool_main), and the spec mirrors it for display coherence.
-  if (spec.kind == Kind::kBaswana && construction.find("seed=") == std::string::npos) {
-    spec.seed = seed;
-  }
+  // tool_main, which keys off spec_seed_explicit), and the spec mirrors it
+  // for display coherence.
+  spec_seed_explicit =
+      spec.kind == Kind::kBaswana && construction.find("seed=") != std::string::npos;
+  if (spec.kind == Kind::kBaswana && !spec_seed_explicit) spec.seed = seed;
   return spec;
 }
 
@@ -239,7 +239,9 @@ int tool_main(int argc, char** argv) {
   const std::string dot_path = opts.get_string("dot", "");
   const std::string out_path = opts.get_string("save-graph", "");
   const auto seed = static_cast<std::uint64_t>(opts.get_int("seed", 1));
-  const api::SpannerSpec spec = spanner_spec_from_flags(construction, opts, seed);
+  bool spec_seed_explicit = false;
+  const api::SpannerSpec spec =
+      spanner_spec_from_flags(construction, opts, seed, spec_seed_explicit);
   std::string churn_path = opts.get_string("churn-trace", "");
   const bool reconverge = opts.get_flag("reconverge");
   const std::string emit_trace_path = opts.get_string("emit-churn-trace", "");
@@ -248,12 +250,14 @@ int tool_main(int argc, char** argv) {
   const double trace_node_frac = opts.get_double("trace-node-frac", 0.0);
   Rng rng(seed);
   const api::GraphSpec graph_spec = graph_spec_from_flags(opts);
-  Graph g = api::build_graph(graph_spec, &rng);
+  // All options are registered by now: gate --help and typos before paying
+  // for graph generation.
   if (opts.help_requested()) {
     std::cout << opts.usage();
     return 0;
   }
   if (!opts.reject_unknown(std::cerr)) return 2;
+  Graph g = api::build_graph(graph_spec, &rng);
 
   if (!emit_trace_path.empty()) {
     const ChurnTrace trace =
@@ -286,8 +290,6 @@ int tool_main(int argc, char** argv) {
   api::BuildContext ctx;
   // Thread the CLI seed RNG through seeded builds — unless the spec string
   // itself pinned a seed, which then drives a fresh RNG inside the build.
-  const bool spec_seed_explicit = spec.kind == api::SpannerSpec::Kind::kBaswana &&
-                                  construction.find("seed=") != std::string::npos;
   if (!spec_seed_explicit) ctx.rng = &rng;
   const api::SpannerResult res = api::build_spanner(g, spec, ctx);
   const double build_s = timer.seconds();
@@ -325,7 +327,7 @@ int tool_main(int argc, char** argv) {
 int main(int argc, char** argv) {
   try {
     return tool_main(argc, argv);
-  } catch (const MissingOptionError& e) {
+  } catch (const OptionError& e) {
     std::cerr << e.what() << "\n";
     return 2;
   } catch (const api::SpecError& e) {

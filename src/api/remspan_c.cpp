@@ -272,11 +272,13 @@ remspan_status_t remspan_session_open(const remspan_graph_t* graph, const char* 
   } catch (...) {
     return trap(std::current_exception());
   }
-  if (!api::supports_incremental(spec)) {
-    return fail(REMSPAN_ERR_UNSUPPORTED, "construction '" + std::string(spec.kind_name()) +
-                                             "' has no incremental maintenance support");
-  }
   try {
+    // Inside the try: for an unregistered custom name the registry lookup
+    // throws SpecError (-> REMSPAN_ERR_PARSE), which must not cross the ABI.
+    if (!api::supports_incremental(spec)) {
+      return fail(REMSPAN_ERR_UNSUPPORTED, "construction '" + std::string(spec.kind_name()) +
+                                               "' has no incremental maintenance support");
+    }
     auto session = api::open_incremental_session(*graph->graph, spec);
     *out_session = new remspan_session{std::move(session)};
     return REMSPAN_OK;

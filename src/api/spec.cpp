@@ -1,6 +1,7 @@
 #include "api/spec.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <utility>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "geom/synthetic.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/graphio.hpp"
+#include "util/strnum.hpp"
 
 namespace remspan::api {
 namespace {
@@ -50,32 +52,20 @@ SplitSpec split_spec(const std::string& text) {
 }
 
 double parse_double_value(const Param& p) {
-  std::size_t used = 0;
-  double v = 0.0;
-  try {
-    v = std::stod(p.value, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (used != p.value.size()) {
+  const auto v = parse_full_double(p.value);
+  if (!v) {
     throw SpecError("parameter '" + p.key + "': '" + p.value + "' is not a number");
   }
-  return v;
+  return *v;
 }
 
 std::uint64_t parse_uint_value(const Param& p) {
-  std::size_t used = 0;
-  long long v = 0;
-  try {
-    v = std::stoll(p.value, &used);
-  } catch (const std::exception&) {
-    used = 0;
-  }
-  if (used != p.value.size() || v < 0) {
+  const auto v = parse_full_int(p.value);
+  if (!v || *v < 0) {
     throw SpecError("parameter '" + p.key + "': '" + p.value +
                     "' is not a non-negative integer");
   }
-  return static_cast<std::uint64_t>(v);
+  return static_cast<std::uint64_t>(*v);
 }
 
 [[noreturn]] void unknown_key(const std::string& kind, const Param& p) {
@@ -87,6 +77,12 @@ std::uint64_t parse_uint_value(const Param& p) {
 std::string spec_number(double v) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%g", v);
+  // %g keeps canonical strings short but holds only 6 significant digits;
+  // fall back to round-trip-exact precision when that loses information,
+  // so parse(to_string(s)) == s holds for every finite normal parameter
+  // (subnormals are rejected by parse_full_double's stod underflow, which
+  // the string grammar never produces in the first place).
+  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
 }
 
@@ -290,8 +286,8 @@ SpannerSpec parse_spanner_spec(const std::string& text) {
       spec.k < 1) {
     throw SpecError("parameter 'k': must be >= 1");
   }
-  if (spec.kind == SpannerSpec::Kind::kGreedy && spec.t < 1.0) {
-    throw SpecError("parameter 't': " + spec_number(spec.t) + " is < 1");
+  if (spec.kind == SpannerSpec::Kind::kGreedy && !(spec.t >= 1.0)) {
+    throw SpecError("parameter 't': " + spec_number(spec.t) + " is not >= 1");
   }
   return spec;
 }

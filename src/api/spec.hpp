@@ -89,7 +89,8 @@ struct SpannerSpec {
   [[nodiscard]] const char* kind_name() const noexcept;
 
   /// Canonical string form, e.g. "th1?eps=0.5" ("&tree=greedy" only when
-  /// not the MIS default), "th2?k=1", "baswana?k=2&seed=1", "mpr".
+  /// not the MIS default), "th2?k=1", "baswana?k=2" ("&seed=..." only when
+  /// not the default 1), "mpr".
   [[nodiscard]] std::string to_string() const;
 
   friend bool operator==(const SpannerSpec&, const SpannerSpec&) = default;

@@ -1,9 +1,26 @@
 #include "util/options.hpp"
 
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/strnum.hpp"
+
 namespace remspan {
+
+namespace {
+
+std::int64_t parse_int_value(const std::string& name, const std::string& value) {
+  if (const auto parsed = parse_full_int(value)) return *parsed;
+  throw BadOptionError("option --" + name + " expects an integer, got '" + value + "'");
+}
+
+double parse_double_value(const std::string& name, const std::string& value) {
+  if (const auto parsed = parse_full_double(value)) return *parsed;
+  throw BadOptionError("option --" + name + " expects a number, got '" + value + "'");
+}
+
+}  // namespace
 
 Options::Options(int argc, const char* const* argv) {
   std::vector<std::string> tokens;
@@ -47,13 +64,13 @@ std::optional<std::string> Options::lookup(const std::string& name) {
 
 std::int64_t Options::get_int(const std::string& name, std::int64_t fallback) {
   described_.emplace_back(name, std::to_string(fallback));
-  if (const auto v = lookup(name)) return std::stoll(*v);
+  if (const auto v = lookup(name)) return parse_int_value(name, *v);
   return fallback;
 }
 
 double Options::get_double(const std::string& name, double fallback) {
   described_.emplace_back(name, std::to_string(fallback));
-  if (const auto v = lookup(name)) return std::stod(*v);
+  if (const auto v = lookup(name)) return parse_double_value(name, *v);
   return fallback;
 }
 
@@ -71,13 +88,13 @@ bool Options::get_flag(const std::string& name) {
 
 std::int64_t Options::require_int(const std::string& name) {
   described_.emplace_back(name, "(required)");
-  if (const auto v = lookup(name)) return std::stoll(*v);
+  if (const auto v = lookup(name)) return parse_int_value(name, *v);
   throw MissingOptionError("missing required option --" + name);
 }
 
 double Options::require_double(const std::string& name) {
   described_.emplace_back(name, "(required)");
-  if (const auto v = lookup(name)) return std::stod(*v);
+  if (const auto v = lookup(name)) return parse_double_value(name, *v);
   throw MissingOptionError("missing required option --" + name);
 }
 
@@ -110,6 +127,15 @@ bool Options::reject_unknown(std::ostream& err) const {
     err << "unknown option --" << name << " (--help lists the options)\n";
   }
   return unknown.empty();
+}
+
+int cli_main(int (*entry)(int, char**), int argc, char** argv) {
+  try {
+    return entry(argc, argv);
+  } catch (const OptionError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
 }
 
 }  // namespace remspan

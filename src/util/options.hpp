@@ -5,7 +5,10 @@
 // calls reject_unknown(std::cerr) and exits 2 when it returns false — a
 // misspelled flag (--constrution) names itself instead of silently running
 // the default. Options a mode cannot run without use the require_* forms,
-// which throw MissingOptionError (callers map it to exit code 2).
+// which throw MissingOptionError; a value that does not parse as a number
+// (--k banana) throws BadOptionError. Every Options-driven main delegates
+// to cli_main (or its own handler catching the common OptionError base),
+// which maps both to the documented exit-2 diagnostic.
 #pragma once
 
 #include <cstdint>
@@ -18,11 +21,24 @@
 
 namespace remspan {
 
-/// Thrown by the require_* accessors when the option is absent; what()
-/// names the missing flag.
-class MissingOptionError : public std::runtime_error {
+/// Base for option errors; what() names the offending flag. Callers map it
+/// to exit code 2.
+class OptionError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the require_* accessors when the option is absent.
+class MissingOptionError : public OptionError {
+ public:
+  using OptionError::OptionError;
+};
+
+/// Thrown by the numeric accessors when the value does not parse as a
+/// number of the expected type.
+class BadOptionError : public OptionError {
+ public:
+  using OptionError::OptionError;
 };
 
 class Options {
@@ -71,5 +87,9 @@ class Options {
   std::vector<std::pair<std::string, std::string>> described_;
   bool help_ = false;
 };
+
+/// Runs a CLI entry point, mapping OptionError (missing required option,
+/// malformed numeric value) to the documented exit-2 diagnostic on stderr.
+[[nodiscard]] int cli_main(int (*entry)(int, char**), int argc, char** argv);
 
 }  // namespace remspan

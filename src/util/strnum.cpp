@@ -1,0 +1,30 @@
+#include "util/strnum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace remspan {
+
+std::optional<std::int64_t> parse_full_int(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t parsed = std::stoll(text, &pos);
+    if (pos == text.size()) return parsed;
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  return std::nullopt;
+}
+
+std::optional<double> parse_full_double(const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double parsed = std::stod(text, &pos);
+    if (pos == text.size() && std::isfinite(parsed)) return parsed;
+  } catch (const std::invalid_argument&) {
+  } catch (const std::out_of_range&) {
+  }
+  return std::nullopt;
+}
+
+}  // namespace remspan

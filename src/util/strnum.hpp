@@ -1,0 +1,18 @@
+// Strict whole-string number parsing shared by the option and spec-string
+// parsers: the entire token must be consumed ("12abc" is rejected, unlike
+// raw stoll/stod), non-finite doubles ("nan", "inf") are rejected — no
+// option or spec parameter legitimately takes one, and NaN silently defeats
+// range checks downstream — and both non-numeric and out-of-range inputs
+// yield nullopt; callers attach their own error type and wording.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace remspan {
+
+[[nodiscard]] std::optional<std::int64_t> parse_full_int(const std::string& text);
+[[nodiscard]] std::optional<double> parse_full_double(const std::string& text);
+
+}  // namespace remspan

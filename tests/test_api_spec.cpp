@@ -55,6 +55,10 @@ TEST(ApiSpec, SpannerSpecCanonicalStringsRoundTrip) {
   EXPECT_EQ(api::parse_spanner_spec("th3").to_string(), "th3?k=2");
   EXPECT_EQ(api::parse_spanner_spec("baswana").to_string(), "baswana?k=2");
   EXPECT_EQ(api::parse_spanner_spec("greedy").to_string(), "greedy?t=3");
+  // Round-trip holds even when the parameter needs more than %g's 6
+  // significant digits.
+  const api::SpannerSpec precise = api::SpannerSpec::th1(0.1234567);
+  EXPECT_EQ(api::parse_spanner_spec(precise.to_string()), precise) << precise.to_string();
 }
 
 TEST(ApiSpec, GraphSpecCanonicalStringsRoundTrip) {
@@ -91,6 +95,11 @@ TEST(ApiSpec, BadSpecsThrowWithTheOffendingTokenNamed) {
   EXPECT_NE(message_of("th2?k=0").find("k"), std::string::npos);
   EXPECT_NE(message_of("th2?k=-1").find("-1"), std::string::npos);
   EXPECT_NE(message_of("greedy?t=0.5").find("t"), std::string::npos);
+  // Non-finite tokens are rejected outright: NaN would otherwise slip past
+  // the range checks (NaN < 1.0 is false) and poison the stretch oracle.
+  EXPECT_NE(message_of("greedy?t=nan").find("nan"), std::string::npos);
+  EXPECT_NE(message_of("th1?eps=inf").find("inf"), std::string::npos);
+  EXPECT_THROW((void)api::parse_graph_spec("udg?n=100&side=inf"), api::SpecError);
   EXPECT_NE(message_of("mpr?k=2").find("k"), std::string::npos);
   EXPECT_NE(message_of("th2?k").find("k"), std::string::npos);       // missing '='
   EXPECT_NE(message_of("th2?=1").find("=1"), std::string::npos);     // missing key

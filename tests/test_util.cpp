@@ -345,6 +345,23 @@ TEST(Options, RequireFormsThrowWhenAbsent) {
   EXPECT_FALSE(opts.has("absent"));
 }
 
+TEST(Options, MalformedNumbersThrowBadOptionError) {
+  Options opts({"--k", "banana", "--eps", "0.5x", "--n", "12"});
+  EXPECT_THROW((void)opts.get_int("k", 1), BadOptionError);
+  EXPECT_THROW((void)opts.require_double("eps"), BadOptionError);
+  EXPECT_EQ(opts.get_int("n", 1), 12);  // intact values still parse
+  try {
+    (void)opts.require_int("k");
+    FAIL() << "require_int should have thrown";
+  } catch (const BadOptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("--k"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("banana"), std::string::npos);
+  }
+  // Both siblings are catchable through the OptionError base (exit-2 path).
+  EXPECT_THROW((void)opts.get_double("eps", 1.0), OptionError);
+  EXPECT_THROW((void)opts.require_string("missing"), OptionError);
+}
+
 TEST(Table, AlignedOutputAndCsv) {
   Table t({"name", "value"});
   t.add("alpha", 1.5);

@@ -225,4 +225,4 @@ int run(int argc, char** argv) {
 }  // namespace
 }  // namespace remspan
 
-int main(int argc, char** argv) { return remspan::run(argc, argv); }
+int main(int argc, char** argv) { return remspan::cli_main(remspan::run, argc, argv); }
