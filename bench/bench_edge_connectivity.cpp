@@ -55,14 +55,14 @@ int bench_main(int argc, char** argv) {
       for (auto& [name, g] : fams) {
         // Plain Theorem 2 construction (coverage k)...
         const EdgeSet h = api::build_spanner(g, api::SpannerSpec::th2(k)).edges;
-        const auto report =
+        const auto plain =
             check_k_edge_connecting_stretch(g, h, k, Stretch{1.0, 0.0}, pairs, seed);
-        violations_plain += report.violations;
+        violations_plain += plain.violations;
         table.add_row({name + " rep" + std::to_string(rep), std::to_string(k),
-                       "k", std::to_string(report.pairs_checked),
-                       std::to_string(report.violations),
-                       std::to_string(report.connectivity_losses),
-                       format_double(report.max_ratio, 3)});
+                       "k", std::to_string(plain.pairs_checked),
+                       std::to_string(plain.violations),
+                       std::to_string(plain.connectivity_losses),
+                       format_double(plain.max_ratio, 3)});
         // ...vs the boosted variant (coverage k+1): the candidate repair.
         const EdgeSet hb = api::build_spanner(g, api::SpannerSpec::th2(k + 1)).edges;
         const auto boosted =

@@ -80,12 +80,12 @@ int bench_main(int argc, char** argv) {
       fams.push_back({"UDG", paper_udg(4.0, n, seed + 7)});
       for (const auto& [name, g] : fams) {
         const EdgeSet h = api::build_spanner(g, api::SpannerSpec::th3(k)).edges;
-        const auto report =
+        const auto checked =
             check_k_connecting_stretch(g, h, k, Stretch{2.0, -1.0}, pairs, seed);
-        a_violations += report.violations;
+        a_violations += checked.violations;
         a.add_row({name + " rep" + std::to_string(rep), std::to_string(k),
-                   std::to_string(report.pairs_checked), std::to_string(report.violations),
-                   format_double(report.max_excess, 2)});
+                   std::to_string(checked.pairs_checked), std::to_string(checked.violations),
+                   format_double(checked.max_excess, 2)});
       }
     }
   }

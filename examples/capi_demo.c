@@ -15,6 +15,9 @@
 static void check(remspan_status_t status, const char* what) {
   if (status != REMSPAN_OK) {
     fprintf(stderr, "%s failed (%d): %s\n", what, (int)status, remspan_last_error());
+    /* remspan-lint: allow(R3) plain-C demo: there is no stack unwinding in a
+     * C translation unit and nothing to destruct; exit(1) after printing the
+     * ABI error is the whole error path. */
     exit(1);
   }
 }

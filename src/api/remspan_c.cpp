@@ -3,10 +3,13 @@
 // library (default-hidden symbols; only the REMSPAN_API declarations are
 // exported) — it is deliberately not part of libremspan.
 //
-// Conventions enforced here:
-//   * no exception crosses the ABI: every entry point traps SpecError /
-//     CheckError / anything else and maps it to a status code plus a
-//     thread-local message behind remspan_last_error();
+// Conventions enforced here (machine-checked by remspan_lint rule R1):
+//   * no exception crosses the ABI: every entry point's body is exactly one
+//     top-level try block ending in catch (...) — even argument validation
+//     runs inside it, because fail() allocates its message string and
+//     std::bad_alloc must not unwind through extern "C";
+//   * status-returning entry points map exceptions via trap(); accessors
+//     and free() fall back to a neutral value (0, "", no-op);
 //   * out-pointers are written only on REMSPAN_OK;
 //   * handles own shared_ptr copies of their graph, so freeing handles in
 //     any order is safe.
@@ -98,27 +101,39 @@ struct remspan_session {
 
 extern "C" {
 
-uint32_t remspan_abi_version(void) { return REMSPAN_ABI_VERSION; }
+uint32_t remspan_abi_version(void) {
+  try {
+    return REMSPAN_ABI_VERSION;
+  } catch (...) {
+    return 0;
+  }
+}
 
-const char* remspan_last_error(void) { return t_last_error.c_str(); }
+const char* remspan_last_error(void) {
+  try {
+    return t_last_error.c_str();
+  } catch (...) {
+    return "";
+  }
+}
 
 /* --- graphs ------------------------------------------------------------- */
 
 remspan_status_t remspan_graph_from_edges(uint32_t num_nodes, const uint32_t* endpoints,
                                           size_t num_edges, remspan_graph_t** out_graph) {
-  if (out_graph == nullptr || (endpoints == nullptr && num_edges > 0)) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
-  for (size_t i = 0; i < num_edges; ++i) {
-    const uint32_t u = endpoints[2 * i];
-    const uint32_t v = endpoints[2 * i + 1];
-    if (u >= num_nodes || v >= num_nodes || u == v) {
-      return fail(REMSPAN_ERR_INVALID_ARGUMENT,
-                  "edge " + std::to_string(i) + " {" + std::to_string(u) + "," +
-                      std::to_string(v) + "} is out of range or a self-loop");
-    }
-  }
   try {
+    if (out_graph == nullptr || (endpoints == nullptr && num_edges > 0)) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
+    for (size_t i = 0; i < num_edges; ++i) {
+      const uint32_t u = endpoints[2 * i];
+      const uint32_t v = endpoints[2 * i + 1];
+      if (u >= num_nodes || v >= num_nodes || u == v) {
+        return fail(REMSPAN_ERR_INVALID_ARGUMENT,
+                    "edge " + std::to_string(i) + " {" + std::to_string(u) + "," +
+                        std::to_string(v) + "} is out of range or a self-loop");
+      }
+    }
     GraphBuilder builder(num_nodes);
     builder.reserve(num_edges);
     for (size_t i = 0; i < num_edges; ++i) {
@@ -132,10 +147,10 @@ remspan_status_t remspan_graph_from_edges(uint32_t num_nodes, const uint32_t* en
 }
 
 remspan_status_t remspan_graph_load(const char* path, remspan_graph_t** out_graph) {
-  if (path == nullptr || out_graph == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
   try {
+    if (path == nullptr || out_graph == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
     Graph g = api::build_graph(api::GraphSpec::file(path));
     *out_graph = new remspan_graph{std::make_shared<const Graph>(std::move(g))};
     return REMSPAN_OK;
@@ -145,50 +160,68 @@ remspan_status_t remspan_graph_load(const char* path, remspan_graph_t** out_grap
 }
 
 remspan_status_t remspan_graph_generate(const char* graph_spec, remspan_graph_t** out_graph) {
-  if (graph_spec == nullptr || out_graph == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
-  api::GraphSpec spec;
   try {
-    spec = api::parse_graph_spec(graph_spec);
-  } catch (...) {
-    return trap(std::current_exception(), REMSPAN_ERR_PARSE);
-  }
-  try {
+    if (graph_spec == nullptr || out_graph == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
+    api::GraphSpec spec;
+    try {
+      spec = api::parse_graph_spec(graph_spec);
+    } catch (...) {
+      return trap(std::current_exception(), REMSPAN_ERR_PARSE);
+    }
     Graph g = api::build_graph(spec);
     *out_graph = new remspan_graph{std::make_shared<const Graph>(std::move(g))};
     return REMSPAN_OK;
   } catch (...) {
     // Build-time SpecErrors are file problems (the generators validate in
-    // the parse step above).
+    // the nested parse step above).
     return trap(std::current_exception(), REMSPAN_ERR_IO);
   }
 }
 
 uint32_t remspan_graph_num_nodes(const remspan_graph_t* graph) {
-  return graph == nullptr ? 0 : graph->graph->num_nodes();
+  try {
+    return graph == nullptr ? 0 : graph->graph->num_nodes();
+  } catch (...) {
+    return 0;
+  }
 }
 
 size_t remspan_graph_num_edges(const remspan_graph_t* graph) {
-  return graph == nullptr ? 0 : graph->graph->num_edges();
+  try {
+    return graph == nullptr ? 0 : graph->graph->num_edges();
+  } catch (...) {
+    return 0;
+  }
 }
 
 size_t remspan_graph_edges(const remspan_graph_t* graph, uint32_t* endpoints,
                            size_t max_edges) {
-  if (graph == nullptr || endpoints == nullptr) return 0;
-  return copy_edges(graph->graph->edges(), endpoints, max_edges);
+  try {
+    if (graph == nullptr || endpoints == nullptr) return 0;
+    return copy_edges(graph->graph->edges(), endpoints, max_edges);
+  } catch (...) {
+    return 0;
+  }
 }
 
-void remspan_graph_free(remspan_graph_t* graph) { delete graph; }
+void remspan_graph_free(remspan_graph_t* graph) {
+  try {
+    delete graph;
+  } catch (...) {
+    // Swallow: a throwing destructor must not unwind through extern "C".
+  }
+}
 
 /* --- spanners ----------------------------------------------------------- */
 
 remspan_status_t remspan_spanner_build(const remspan_graph_t* graph, const char* spanner_spec,
                                        remspan_spanner_t** out_spanner) {
-  if (graph == nullptr || spanner_spec == nullptr || out_spanner == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
   try {
+    if (graph == nullptr || spanner_spec == nullptr || out_spanner == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
     const api::SpannerSpec spec = api::parse_spanner_spec(spanner_spec);
     auto handle = std::make_unique<remspan_spanner>(
         remspan_spanner{graph->graph, api::build_spanner(*graph->graph, spec), spec.to_string()});
@@ -200,51 +233,71 @@ remspan_status_t remspan_spanner_build(const remspan_graph_t* graph, const char*
 }
 
 const char* remspan_spanner_spec(const remspan_spanner_t* spanner) {
-  return spanner == nullptr ? "" : spanner->spec.c_str();
+  try {
+    return spanner == nullptr ? "" : spanner->spec.c_str();
+  } catch (...) {
+    return "";
+  }
 }
 
 size_t remspan_spanner_num_edges(const remspan_spanner_t* spanner) {
-  return spanner == nullptr ? 0 : spanner->result.edges.size();
+  try {
+    return spanner == nullptr ? 0 : spanner->result.edges.size();
+  } catch (...) {
+    return 0;
+  }
 }
 
 size_t remspan_spanner_edges(const remspan_spanner_t* spanner, uint32_t* endpoints,
                              size_t max_edges) {
-  if (spanner == nullptr || endpoints == nullptr) return 0;
-  return copy_edges(spanner->result.edges.edge_list(), endpoints, max_edges);
+  try {
+    if (spanner == nullptr || endpoints == nullptr) return 0;
+    return copy_edges(spanner->result.edges.edge_list(), endpoints, max_edges);
+  } catch (...) {
+    return 0;
+  }
 }
 
 int remspan_spanner_contains(const remspan_spanner_t* spanner, uint32_t u, uint32_t v) {
-  if (spanner == nullptr) return 0;
-  const NodeId n = spanner->graph->num_nodes();
-  if (u >= n || v >= n || u == v) return 0;
-  return spanner->result.edges.contains(u, v) ? 1 : 0;
+  try {
+    if (spanner == nullptr) return 0;
+    const NodeId n = spanner->graph->num_nodes();
+    if (u >= n || v >= n || u == v) return 0;
+    return spanner->result.edges.contains(u, v) ? 1 : 0;
+  } catch (...) {
+    return 0;
+  }
 }
 
 remspan_status_t remspan_spanner_guarantee(const remspan_spanner_t* spanner, double* out_alpha,
                                            double* out_beta) {
-  if (spanner == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null spanner");
+  try {
+    if (spanner == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null spanner");
+    }
+    if (out_alpha != nullptr) *out_alpha = spanner->result.guarantee.alpha;
+    if (out_beta != nullptr) *out_beta = spanner->result.guarantee.beta;
+    return REMSPAN_OK;
+  } catch (...) {
+    return trap(std::current_exception());
   }
-  if (out_alpha != nullptr) *out_alpha = spanner->result.guarantee.alpha;
-  if (out_beta != nullptr) *out_beta = spanner->result.guarantee.beta;
-  return REMSPAN_OK;
 }
 
 remspan_status_t remspan_spanner_verify(const remspan_graph_t* graph,
                                         const remspan_spanner_t* spanner, uint64_t seed,
                                         int* out_satisfied, double* out_max_ratio) {
-  if (graph == nullptr || spanner == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
-  if (!same_topology(*graph->graph, *spanner->graph)) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT,
-                "graph does not match the topology the spanner was built on");
-  }
-  if (spanner->result.verify == nullptr) {
-    return fail(REMSPAN_ERR_UNSUPPORTED,
-                "construction '" + spanner->spec + "' has nothing to verify");
-  }
   try {
+    if (graph == nullptr || spanner == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
+    if (!same_topology(*graph->graph, *spanner->graph)) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT,
+                  "graph does not match the topology the spanner was built on");
+    }
+    if (spanner->result.verify == nullptr) {
+      return fail(REMSPAN_ERR_UNSUPPORTED,
+                  "construction '" + spanner->spec + "' has nothing to verify");
+    }
     api::VerifyOptions opts;
     opts.seed = seed;
     const api::VerifyReport report =
@@ -257,24 +310,25 @@ remspan_status_t remspan_spanner_verify(const remspan_graph_t* graph,
   }
 }
 
-void remspan_spanner_free(remspan_spanner_t* spanner) { delete spanner; }
+void remspan_spanner_free(remspan_spanner_t* spanner) {
+  try {
+    delete spanner;
+  } catch (...) {
+    // Swallow: a throwing destructor must not unwind through extern "C".
+  }
+}
 
 /* --- incremental sessions ----------------------------------------------- */
 
 remspan_status_t remspan_session_open(const remspan_graph_t* graph, const char* spanner_spec,
                                       remspan_session_t** out_session) {
-  if (graph == nullptr || spanner_spec == nullptr || out_session == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
-  api::SpannerSpec spec;
   try {
-    spec = api::parse_spanner_spec(spanner_spec);
-  } catch (...) {
-    return trap(std::current_exception());
-  }
-  try {
-    // Inside the try: for an unregistered custom name the registry lookup
-    // throws SpecError (-> REMSPAN_ERR_PARSE), which must not cross the ABI.
+    if (graph == nullptr || spanner_spec == nullptr || out_session == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
+    const api::SpannerSpec spec = api::parse_spanner_spec(spanner_spec);
+    // For an unregistered custom name the registry lookup below throws
+    // SpecError (-> REMSPAN_ERR_PARSE), which must not cross the ABI.
     if (!api::supports_incremental(spec)) {
       return fail(REMSPAN_ERR_UNSUPPORTED, "construction '" + std::string(spec.kind_name()) +
                                                "' has no incremental maintenance support");
@@ -290,37 +344,38 @@ remspan_status_t remspan_session_open(const remspan_graph_t* graph, const char* 
 remspan_status_t remspan_session_apply(remspan_session_t* session,
                                        const remspan_event_t* events, size_t num_events,
                                        remspan_batch_stats_t* out_stats) {
-  if (session == nullptr || (events == nullptr && num_events > 0)) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
-  // Validate the whole batch before touching any state, so a bad event
-  // cannot leave the session half-applied.
-  const NodeId n = session->session->dynamic_graph().num_nodes();
-  std::vector<GraphEvent> batch;
-  batch.reserve(num_events);
-  for (size_t i = 0; i < num_events; ++i) {
-    const remspan_event_t& e = events[i];
-    const bool edge_event =
-        e.kind == REMSPAN_EVENT_EDGE_UP || e.kind == REMSPAN_EVENT_EDGE_DOWN;
-    const bool node_event =
-        e.kind == REMSPAN_EVENT_NODE_UP || e.kind == REMSPAN_EVENT_NODE_DOWN;
-    if ((!edge_event && !node_event) || e.u >= n || (edge_event && (e.v >= n || e.u == e.v))) {
-      return fail(REMSPAN_ERR_INVALID_ARGUMENT,
-                  "event " + std::to_string(i) + " is malformed (kind " +
-                      std::to_string(e.kind) + ", u " + std::to_string(e.u) + ", v " +
-                      std::to_string(e.v) + ", n " + std::to_string(n) + ")");
-    }
-    if (e.kind == REMSPAN_EVENT_EDGE_UP) {
-      batch.push_back(GraphEvent::edge_up(e.u, e.v));
-    } else if (e.kind == REMSPAN_EVENT_EDGE_DOWN) {
-      batch.push_back(GraphEvent::edge_down(e.u, e.v));
-    } else if (e.kind == REMSPAN_EVENT_NODE_UP) {
-      batch.push_back(GraphEvent::node_up(e.u));
-    } else {
-      batch.push_back(GraphEvent::node_down(e.u));
-    }
-  }
   try {
+    if (session == nullptr || (events == nullptr && num_events > 0)) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
+    // Validate the whole batch before touching any state, so a bad event
+    // cannot leave the session half-applied.
+    const NodeId n = session->session->dynamic_graph().num_nodes();
+    std::vector<GraphEvent> batch;
+    batch.reserve(num_events);
+    for (size_t i = 0; i < num_events; ++i) {
+      const remspan_event_t& e = events[i];
+      const bool edge_event =
+          e.kind == REMSPAN_EVENT_EDGE_UP || e.kind == REMSPAN_EVENT_EDGE_DOWN;
+      const bool node_event =
+          e.kind == REMSPAN_EVENT_NODE_UP || e.kind == REMSPAN_EVENT_NODE_DOWN;
+      if ((!edge_event && !node_event) || e.u >= n ||
+          (edge_event && (e.v >= n || e.u == e.v))) {
+        return fail(REMSPAN_ERR_INVALID_ARGUMENT,
+                    "event " + std::to_string(i) + " is malformed (kind " +
+                        std::to_string(e.kind) + ", u " + std::to_string(e.u) + ", v " +
+                        std::to_string(e.v) + ", n " + std::to_string(n) + ")");
+      }
+      if (e.kind == REMSPAN_EVENT_EDGE_UP) {
+        batch.push_back(GraphEvent::edge_up(e.u, e.v));
+      } else if (e.kind == REMSPAN_EVENT_EDGE_DOWN) {
+        batch.push_back(GraphEvent::edge_down(e.u, e.v));
+      } else if (e.kind == REMSPAN_EVENT_NODE_UP) {
+        batch.push_back(GraphEvent::node_up(e.u));
+      } else {
+        batch.push_back(GraphEvent::node_down(e.u));
+      }
+    }
     const remspan::ChurnBatchStats stats = session->session->apply_batch(batch);
     if (out_stats != nullptr) {
       *out_stats = remspan_batch_stats_t{stats.version,        stats.applied_events,
@@ -335,21 +390,29 @@ remspan_status_t remspan_session_apply(remspan_session_t* session,
 }
 
 size_t remspan_session_spanner_num_edges(const remspan_session_t* session) {
-  return session == nullptr ? 0 : session->session->spanner().size();
+  try {
+    return session == nullptr ? 0 : session->session->spanner().size();
+  } catch (...) {
+    return 0;
+  }
 }
 
 size_t remspan_session_spanner_edges(const remspan_session_t* session, uint32_t* endpoints,
                                      size_t max_edges) {
-  if (session == nullptr || endpoints == nullptr) return 0;
-  return copy_edges(session->session->spanner().edge_list(), endpoints, max_edges);
+  try {
+    if (session == nullptr || endpoints == nullptr) return 0;
+    return copy_edges(session->session->spanner().edge_list(), endpoints, max_edges);
+  } catch (...) {
+    return 0;
+  }
 }
 
 remspan_status_t remspan_session_graph(const remspan_session_t* session,
                                        remspan_graph_t** out_graph) {
-  if (session == nullptr || out_graph == nullptr) {
-    return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
-  }
   try {
+    if (session == nullptr || out_graph == nullptr) {
+      return fail(REMSPAN_ERR_INVALID_ARGUMENT, "null pointer argument");
+    }
     *out_graph = new remspan_graph{session->session->dynamic_graph().snapshot()};
     return REMSPAN_OK;
   } catch (...) {
@@ -357,6 +420,12 @@ remspan_status_t remspan_session_graph(const remspan_session_t* session,
   }
 }
 
-void remspan_session_free(remspan_session_t* session) { delete session; }
+void remspan_session_free(remspan_session_t* session) {
+  try {
+    delete session;
+  } catch (...) {
+    // Swallow: a throwing destructor must not unwind through extern "C".
+  }
+}
 
 } /* extern "C" */

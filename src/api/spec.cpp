@@ -81,8 +81,11 @@ std::string spec_number(double v) {
   // fall back to round-trip-exact precision when that loses information,
   // so parse(to_string(s)) == s holds for every finite normal parameter
   // (subnormals are rejected by parse_full_double's stod underflow, which
-  // the string grammar never produces in the first place).
-  if (std::strtod(buf, nullptr) != v) std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // the string grammar never produces in the first place). The round-trip
+  // probe goes through the same strict parser the spec grammar uses.
+  if (parse_full_double(buf) != std::optional<double>(v)) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
   return buf;
 }
 
@@ -147,8 +150,8 @@ SpannerSpec SpannerSpec::custom(std::string name,
 }
 
 std::optional<std::string> SpannerSpec::custom_param(const std::string& key) const {
-  for (const auto& [k, v] : custom_params) {
-    if (k == key) return v;
+  for (const auto& [param_key, param_value] : custom_params) {
+    if (param_key == key) return param_value;
   }
   return std::nullopt;
 }

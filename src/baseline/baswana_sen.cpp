@@ -1,8 +1,9 @@
 #include "baseline/baswana_sen.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <unordered_map>
-#include <unordered_set>
 
 namespace remspan {
 
@@ -22,26 +23,31 @@ EdgeSet baswana_sen_spanner(const Graph& g, Dist k, Rng& rng) {
   const double sample_prob = std::pow(static_cast<double>(n), -1.0 / static_cast<double>(k));
 
   // Phase 1: k-1 rounds of cluster sampling.
+  std::vector<std::uint8_t> is_center(n);
+  std::vector<std::uint8_t> sampled(n);
   for (Dist round = 0; round + 1 < k; ++round) {
-    // Sample the surviving cluster ids.
-    std::unordered_set<NodeId> centers;
+    // Sample the surviving cluster ids in increasing id order. Cluster ids
+    // live in [0, n), so a mask sweep replaces the former unordered_set
+    // walk, whose hash-table order decided which cluster got which
+    // Bernoulli draw — the one place iteration order leaked into output.
+    std::fill(is_center.begin(), is_center.end(), 0);
+    std::fill(sampled.begin(), sampled.end(), 0);
     for (NodeId v = 0; v < n; ++v) {
-      if (cluster[v] != kInvalidNode) centers.insert(cluster[v]);
+      if (cluster[v] != kInvalidNode) is_center[cluster[v]] = 1;
     }
-    std::unordered_set<NodeId> sampled;
-    for (const NodeId c : centers) {
-      if (rng.bernoulli(sample_prob)) sampled.insert(c);
+    for (NodeId c = 0; c < n; ++c) {
+      if (is_center[c] != 0 && rng.bernoulli(sample_prob)) sampled[c] = 1;
     }
 
     std::vector<NodeId> next_cluster(cluster);
     for (NodeId v = 0; v < n; ++v) {
       if (cluster[v] == kInvalidNode) continue;
-      if (sampled.contains(cluster[v])) continue;  // survives as is
+      if (sampled[cluster[v]] != 0) continue;  // survives as is
       // v's cluster died: look for an adjacent sampled cluster.
       NodeId adopt_via = kInvalidNode;
       for (const NodeId w : g.neighbors(v)) {
         const NodeId cw = cluster[w];
-        if (cw != kInvalidNode && sampled.contains(cw)) {
+        if (cw != kInvalidNode && sampled[cw] != 0) {
           adopt_via = w;
           break;  // neighbors are id-sorted: deterministic pick
         }
@@ -58,6 +64,10 @@ EdgeSet baswana_sen_spanner(const Graph& g, Dist k, Rng& rng) {
           if (cw == kInvalidNode || cw == cluster[v]) continue;
           per_cluster.try_emplace(cw, w);
         }
+        // remspan-lint: allow(R6) order-independent: each witness was picked
+        // by the id-sorted neighbor scan above (try_emplace keeps the first),
+        // and EdgeSet::insert is a commutative bitset write — the resulting
+        // edge set is identical under any iteration order.
         for (const auto& [c, w] : per_cluster) spanner.insert(v, w);
         next_cluster[v] = kInvalidNode;
       }
@@ -73,6 +83,9 @@ EdgeSet baswana_sen_spanner(const Graph& g, Dist k, Rng& rng) {
       if (cw == kInvalidNode || cw == cluster[v]) continue;
       per_cluster.try_emplace(cw, w);
     }
+    // remspan-lint: allow(R6) order-independent: witnesses are fixed by the
+    // id-sorted neighbor scan above and EdgeSet::insert is a commutative
+    // bitset write, so any iteration order yields the same edge set.
     for (const auto& [c, w] : per_cluster) spanner.insert(v, w);
   }
 

@@ -4,7 +4,6 @@
 // (per (origin, seq) key), in at most d rounds.
 #pragma once
 
-#include <unordered_map>
 #include <unordered_set>
 
 #include "sim/network.hpp"

@@ -5,9 +5,11 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "util/prelude.hpp"
+#include "util/strnum.hpp"
 
 namespace remspan {
 
@@ -208,10 +210,12 @@ class Parser {
       REMSPAN_CHECK(res.ec == std::errc{} && res.ptr == token.data() + token.size());
       return i;
     }
-    std::size_t consumed = 0;
-    const double d = std::stod(token, &consumed);
-    REMSPAN_CHECK(consumed == token.size());
-    return d;
+    // Strict whole-string parse: trailing garbage ("1.5x"), overflow
+    // ("1e999") and non-finite tokens all fail the same CheckError way
+    // instead of escaping as raw std::invalid_argument/out_of_range.
+    const std::optional<double> d = parse_full_double(token);
+    REMSPAN_CHECK(d.has_value());
+    return *d;
   }
 
   template <typename Fn>

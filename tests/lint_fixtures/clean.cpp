@@ -1,0 +1,12 @@
+// remspan-lint: treat-as src/core/fixture.cpp
+// Clean fixture: ordinary library code touching none of the contracts.
+#include <map>
+#include <vector>
+
+int fixture_total(const std::vector<int>& xs) {
+  std::map<int, int> counts;
+  for (const int x : xs) ++counts[x];
+  int total = 0;
+  for (const auto& [value, count] : counts) total += value * count;
+  return total;
+}

@@ -1,0 +1,12 @@
+// remspan-lint: treat-as src/core/fixture.cpp
+// R0 fixture: an allow() with no written justification is itself a
+// violation, and it must NOT suppress the underlying R6 finding.
+#include <unordered_map>
+
+int fixture_sum() {
+  std::unordered_map<int, int> m{{1, 2}, {3, 4}};
+  int total = 0;
+  // remspan-lint: allow(R6)
+  for (const auto& [k, v] : m) total += k + v;
+  return total;
+}

@@ -1,0 +1,8 @@
+// remspan-lint: treat-as src/api/remspan_c.cpp
+// R1 fixture: an extern "C" function whose body is not a single top-level
+// try/catch(...) exception wall. remspan_lint must flag it.
+extern "C" {
+
+int remspan_fixture_bad(int x) { return x + 1; }
+
+}  // extern "C"

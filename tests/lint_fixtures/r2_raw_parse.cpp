@@ -1,0 +1,5 @@
+// remspan-lint: treat-as src/util/json_report.cpp
+// R2 fixture: raw std::stod instead of util/strnum's strict parsers.
+#include <string>
+
+double fixture_parse(const std::string& s) { return std::stod(s); }

@@ -1,0 +1,5 @@
+// remspan-lint: treat-as src/core/fixture.cpp
+// R3 fixture: std::exit outside the cli_main wrapper.
+#include <cstdlib>
+
+void fixture_die() { std::exit(3); }

@@ -1,0 +1,5 @@
+// remspan-lint: treat-as src/graph/fixture.cpp
+// R4 fixture: assert() in library code instead of REMSPAN_CHECK.
+#include <cassert>
+
+void fixture_check(int x) { assert(x > 0); }

@@ -1,0 +1,8 @@
+// R5 fixture: nondeterministic seeding. Banned everywhere, so no treat-as
+// directive is needed.
+#include <random>
+
+unsigned fixture_entropy() {
+  std::random_device rd;
+  return rd();
+}

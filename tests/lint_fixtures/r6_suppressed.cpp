@@ -1,0 +1,13 @@
+// remspan-lint: treat-as src/core/fixture.cpp
+// Suppression fixture: the same iteration as r6_unordered_iteration.cpp,
+// but carrying a justified allow(R6); remspan_lint must report it clean.
+#include <unordered_map>
+
+int fixture_sum() {
+  std::unordered_map<int, int> m{{1, 2}, {3, 4}};
+  int total = 0;
+  // remspan-lint: allow(R6) integer addition is commutative and associative,
+  // so the accumulated total is independent of hash-table order.
+  for (const auto& [k, v] : m) total += k + v;
+  return total;
+}

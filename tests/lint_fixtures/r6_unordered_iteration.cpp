@@ -1,0 +1,11 @@
+// remspan-lint: treat-as src/core/fixture.cpp
+// R6 fixture: range-for over an unordered_map in a bit-exact subsystem
+// without an allow(R6) justification.
+#include <unordered_map>
+
+int fixture_sum() {
+  std::unordered_map<int, int> m{{1, 2}, {3, 4}};
+  int total = 0;
+  for (const auto& [k, v] : m) total += k + v;
+  return total;
+}

@@ -109,5 +109,25 @@ TEST(BenchReport, RejectsMalformedInput) {
   EXPECT_THROW(parse_report("{} trailing"), CheckError);
 }
 
+TEST(BenchReport, RejectsMalformedNumbers) {
+  // Number tokens parse through util/strnum's whole-string parsers, so a
+  // hand-edited report with a garbage-suffixed or overflowing number fails
+  // as a CheckError — never as a silent prefix-parse and never as a raw
+  // std::invalid_argument/out_of_range escaping from std::stod.
+  const auto with_value = [](const char* token) {
+    return std::string("{\"bench\": \"x\", \"seed\": 1, \"params\": {},"
+                       " \"values\": {\"v\": ") +
+           token + "}, \"wall_seconds\": 0.5}";
+  };
+  EXPECT_THROW(parse_report(with_value("1.5x")), CheckError);    // trailing garbage
+  EXPECT_THROW(parse_report(with_value("1e999")), CheckError);   // double overflow
+  EXPECT_THROW(parse_report(with_value("nan")), CheckError);     // non-finite
+  EXPECT_THROW(parse_report(with_value("0x10")), CheckError);    // hex is not JSON
+  EXPECT_THROW(parse_report(with_value("99999999999999999999")), CheckError);  // int64 overflow
+  // The well-formed neighbours of those tokens still parse.
+  const BenchReport ok = parse_report(with_value("1.5"));
+  EXPECT_EQ(std::get<double>(ok.values()[0].second), 1.5);
+}
+
 }  // namespace
 }  // namespace remspan
