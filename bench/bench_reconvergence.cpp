@@ -56,6 +56,37 @@ StrategyResult replay(const ChurnTrace& trace, const StrategyCase& c) {
   return result;
 }
 
+/// One full replay over a degraded channel: cumulative cost counters plus
+/// the converged end state (per-node trees + spanner) for the bit-exactness
+/// check against the lossless replay.
+struct LossResult {
+  std::uint64_t rounds = 0;
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t delayed = 0;
+  std::vector<std::vector<Edge>> trees;  // per node
+  std::vector<Edge> spanner;
+};
+
+LossResult replay_under_faults(const ChurnTrace& trace, const api::SpannerSpec& spec,
+                               ReconvergeStrategy strategy, const FaultConfig& faults) {
+  const auto sim = api::open_reconvergence_session(trace.initial_graph(), spec, strategy, faults);
+  LossResult r;
+  auto account = [&r](const ReconvergeBatchStats& s) {
+    r.rounds += s.rounds;
+    r.msgs += s.transmissions;
+    r.bytes += s.wire_bytes;
+    r.drops += s.drops;
+    r.delayed += s.delayed;
+  };
+  account(sim->initial_stats());
+  for (const auto& batch : trace.batches) account(sim->apply_batch(batch));
+  for (NodeId v = 0; v < sim->graph().num_nodes(); ++v) r.trees.push_back(sim->node_tree(v));
+  r.spanner = sim->spanner().edge_list();
+  return r;
+}
+
 }  // namespace
 
 int bench_main(int argc, char** argv) {
@@ -200,7 +231,91 @@ int bench_main(int argc, char** argv) {
 
   report.value("all_equivalent", all_equivalent ? 1 : 0);
   report.finish();
-  return all_equivalent ? 0 : 1;
+
+  // --- Convergence under loss: the same protocol over degraded channels ---
+  //
+  // The contract (sim/reconvergence.hpp): loss and delay cost rounds and
+  // messages, never correctness — every channel row must end bit-exactly on
+  // the lossless replay's per-node state. Counters are deterministic at
+  // fixed seeds (hash-derived channel, single-threaded simulator), so the
+  // committed baseline gates every value; only wall time is ignored.
+  Report loss_report("reconvergence_loss");
+  loss_report.seed(seed);
+  loss_report.param("n", n);
+  loss_report.param("side", side);
+  loss_report.param("churn", churn);
+  loss_report.param("k", k);
+
+  banner("Reconvergence under loss — retransmit/backoff vs the degraded channel",
+         "same converged state as the lossless run, paid for in rounds and retransmissions");
+
+  const ChurnTrace loss_trace = mobility_churn_trace(gg, 2, movers, 100 * seed + 3);
+  struct ChannelCase {
+    std::string name;
+    FaultConfig faults;
+  };
+  std::vector<ChannelCase> channels;
+  for (const double p : {0.0, 0.05, 0.2, 0.5}) {
+    FaultConfig f;
+    f.link.drop = p;
+    f.link.seed = seed + 11;
+    channels.push_back({"p" + std::to_string(static_cast<int>(p * 100)), f});
+  }
+  {
+    FaultConfig f;
+    f.link.burst = GilbertElliott::from_loss_and_burst(0.2, 4.0);
+    f.link.seed = seed + 11;
+    channels.push_back({"burst20", f});
+  }
+  {
+    FaultConfig f;
+    f.link.drop = 0.1;
+    f.link.delay = 1;
+    f.link.jitter = 2;
+    f.link.seed = seed + 11;
+    channels.push_back({"delay_jitter", f});
+  }
+
+  const std::pair<std::string, ReconvergeStrategy> loss_strategies[] = {
+      {"inc", ReconvergeStrategy::kIncremental},
+      {"reflood", ReconvergeStrategy::kFullReflood},
+  };
+
+  bool all_loss_exact = true;
+  Table loss_table({"channel", "strategy", "rounds", "msgs", "KB", "drops", "delayed", "exact"});
+  for (const auto& [sname, strategy] : loss_strategies) {
+    const LossResult lossless =
+        replay_under_faults(loss_trace, remspan_spec, strategy, FaultConfig{});
+    for (const ChannelCase& c : channels) {
+      const LossResult r = c.faults.faulty()
+                               ? replay_under_faults(loss_trace, remspan_spec, strategy, c.faults)
+                               : lossless;
+      const bool exact = r.trees == lossless.trees && r.spanner == lossless.spanner;
+      all_loss_exact = all_loss_exact && exact;
+      loss_table.add_row({c.name, sname, std::to_string(r.rounds), std::to_string(r.msgs),
+                          format_double(static_cast<double>(r.bytes) / 1024.0, 1),
+                          std::to_string(r.drops), std::to_string(r.delayed),
+                          exact ? "yes" : "NO"});
+      const std::string prefix = sname + "_" + c.name;
+      loss_report.value(prefix + "_rounds", r.rounds);
+      loss_report.value(prefix + "_msgs", r.msgs);
+      loss_report.value(prefix + "_bytes", r.bytes);
+      loss_report.value(prefix + "_drops", r.drops);
+      loss_report.value(prefix + "_delayed", r.delayed);
+      loss_report.value(prefix + "_state_exact", exact ? 1 : 0);
+    }
+  }
+
+  std::cout << "cost of convergence per channel (initial build + 2 mobility batches;\n"
+               "'exact' = per-node converged state bit-identical to the lossless replay):\n";
+  loss_table.print(std::cout);
+  std::cout << "\nreading: the degraded channels change what convergence *costs* —\n"
+               "retransmissions, extra rounds, dropped and delayed copies — but never\n"
+               "what it converges *to*.\n";
+
+  loss_report.value("all_state_exact", all_loss_exact ? 1 : 0);
+  loss_report.finish();
+  return all_equivalent && all_loss_exact ? 0 : 1;
 }
 
 int main(int argc, char** argv) { return cli_main(bench_main, argc, argv); }

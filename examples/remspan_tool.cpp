@@ -24,7 +24,14 @@
 // at the protocol level (src/sim/reconvergence.hpp): per batch it reports
 // the rounds, messages and bytes the scoped incremental re-advertisement
 // needs to re-converge, next to the full-re-flood strawman, and checks both
-// end on the centralized construction bit-exact.
+// end on the centralized construction bit-exact. --loss <p> runs the replay
+// over a lossy channel (per-copy iid drop probability p; --burst <len>
+// shapes it into Gilbert–Elliott bursts of mean length len), --delay <d>
+// and --jitter <j> postpone every surviving copy by d + uniform{0..j}
+// rounds, --fault-seed pins the channel's randomness. Faults switch the
+// protocol to its reliable (retransmit + quiescence-detect) variant; the
+// bit-exactness checks still hold — that is the convergence-under-loss
+// contract of reconvergence.hpp.
 #include <fstream>
 #include <iostream>
 
@@ -89,6 +96,38 @@ api::SpannerSpec spanner_spec_from_flags(const std::string& construction, Option
       spec.kind == Kind::kBaswana && construction.find("seed=") != std::string::npos;
   if (spec.kind == Kind::kBaswana && !spec_seed_explicit) spec.seed = seed;
   return spec;
+}
+
+/// Maps the channel-fault CLI flags onto a FaultConfig (all default off):
+/// --loss <p> iid per-copy drop probability, --burst <len> switches the
+/// loss to a Gilbert–Elliott chain with mean burst length <len>,
+/// --delay <d> fixed extra delivery rounds, --jitter <j> + uniform{0..j}
+/// more, --fault-seed <s> the channel's own seed. Out-of-range values are
+/// flag errors (exit 2), matching LinkModel's constructor contract.
+FaultConfig fault_config_from_flags(Options& opts, std::uint64_t seed) {
+  FaultConfig faults;
+  const double loss = opts.get_double("loss", 0.0);
+  const double burst = opts.get_double("burst", 0.0);
+  faults.link.delay = static_cast<std::uint32_t>(opts.get_int("delay", 0));
+  faults.link.jitter = static_cast<std::uint32_t>(opts.get_int("jitter", 0));
+  faults.link.seed = static_cast<std::uint64_t>(opts.get_int("fault-seed", static_cast<long long>(seed)));
+  if (loss < 0.0 || loss >= 1.0) {
+    throw BadOptionError("option --loss expects a probability in [0, 1), got " +
+                         std::to_string(loss));
+  }
+  if (burst < 0.0 || (burst > 0.0 && burst < 1.0)) {
+    throw BadOptionError("option --burst expects a mean burst length >= 1, got " +
+                         std::to_string(burst));
+  }
+  if (burst > 0.0 && loss <= 0.0) {
+    throw BadOptionError("option --burst needs --loss > 0 (it shapes the loss into bursts)");
+  }
+  if (burst > 0.0) {
+    faults.link.burst = GilbertElliott::from_loss_and_burst(loss, burst);
+  } else {
+    faults.link.drop = loss;
+  }
+  return faults;
 }
 
 /// Loads a trace file, mapping I/O and parse failures to exit code 2
@@ -174,7 +213,7 @@ int run_churn_replay(const std::string& path, const api::SpannerSpec& spec,
 /// report the per-batch reconvergence cost of scoped incremental
 /// re-advertisement against the full-re-flood strawman.
 int run_reconverge(const std::string& path, const api::SpannerSpec& spec,
-                   const std::string& construction, bool verify) {
+                   const std::string& construction, bool verify, const FaultConfig& faults) {
   ChurnTrace trace;
   if (!load_trace(path, trace)) return 2;
 
@@ -186,14 +225,30 @@ int run_reconverge(const std::string& path, const api::SpannerSpec& spec,
   const RemSpanConfig cfg = api::protocol_config(spec);
 
   const Graph initial = trace.initial_graph();
-  const auto inc = api::open_reconvergence_session(initial, spec, ReconvergeStrategy::kIncremental);
-  const auto ref = api::open_reconvergence_session(initial, spec, ReconvergeStrategy::kFullReflood);
+  const auto inc =
+      api::open_reconvergence_session(initial, spec, ReconvergeStrategy::kIncremental, faults);
+  const auto ref =
+      api::open_reconvergence_session(initial, spec, ReconvergeStrategy::kFullReflood, faults);
   const auto& init = inc->initial_stats();
   std::cout << "protocol reconvergence replay: " << path << "\n"
             << "initial graph: n=" << initial.num_nodes() << " m=" << initial.num_edges()
             << ", protocol " << cfg.kind_name() << " (scope " << cfg.flood_scope()
             << "), cold start: " << init.rounds << " rounds, " << init.transmissions
-            << " msgs, " << init.wire_bytes << " B\n\n";
+            << " msgs, " << init.wire_bytes << " B\n";
+  if (faults.faulty()) {
+    std::cout << "channel: ";
+    if (faults.link.burst.enabled()) {
+      std::cout << "burst loss (GE, drop_bad=1)";
+    } else if (faults.link.drop > 0.0) {
+      std::cout << "iid loss p=" << faults.link.drop;
+    } else {
+      std::cout << "lossless";
+    }
+    std::cout << ", delay " << faults.link.delay << "+U{0.." << faults.link.jitter
+              << "}, fault seed " << faults.link.seed << " (reliable mode, cold start dropped "
+              << init.drops << ", delayed " << init.delayed << ")\n";
+  }
+  std::cout << "\n";
 
   Table table({"batch", "events", "+edges", "-edges", "advertisers", "rounds", "msgs",
                "bytes", "reflood msgs", "saved"});
@@ -244,6 +299,7 @@ int tool_main(int argc, char** argv) {
       spanner_spec_from_flags(construction, opts, seed, spec_seed_explicit);
   std::string churn_path = opts.get_string("churn-trace", "");
   const bool reconverge = opts.get_flag("reconverge");
+  const FaultConfig faults = fault_config_from_flags(opts, seed);
   const std::string emit_trace_path = opts.get_string("emit-churn-trace", "");
   const auto trace_batches = static_cast<std::size_t>(opts.get_int("trace-batches", 20));
   const auto trace_events = static_cast<std::size_t>(opts.get_int("trace-events", 10));
@@ -274,7 +330,7 @@ int tool_main(int argc, char** argv) {
   }
   if (reconverge && churn_path.empty()) churn_path = opts.require_string("churn-trace");
   if (!churn_path.empty()) {
-    if (reconverge) return run_reconverge(churn_path, spec, construction, verify);
+    if (reconverge) return run_reconverge(churn_path, spec, construction, verify, faults);
     return run_churn_replay(churn_path, spec, construction, verify, seed);
   }
 

@@ -294,8 +294,9 @@ std::unique_ptr<IncrementalSession> open_incremental_session(const Graph& initia
 
 std::unique_ptr<ReconvergenceSim> open_reconvergence_session(const Graph& initial,
                                                              const SpannerSpec& spec,
-                                                             ReconvergeStrategy strategy) {
-  return std::make_unique<ReconvergenceSim>(initial, protocol_config(spec), strategy);
+                                                             ReconvergeStrategy strategy,
+                                                             const FaultConfig& faults) {
+  return std::make_unique<ReconvergenceSim>(initial, protocol_config(spec), strategy, faults);
 }
 
 }  // namespace remspan::api

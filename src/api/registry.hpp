@@ -185,8 +185,12 @@ class IncrementalSession {
     const Graph& initial, const SpannerSpec& spec);
 
 /// Opens a protocol-level reconvergence session for a spec; throws
-/// SpecError for constructions without a protocol.
+/// SpecError for constructions without a protocol. A faulty `faults.link`
+/// runs the session over a lossy/delaying channel with the reliable
+/// protocol variant (see reconvergence.hpp for the convergence-under-loss
+/// contract); the default keeps the lossless one-shot schedule.
 [[nodiscard]] std::unique_ptr<ReconvergenceSim> open_reconvergence_session(
-    const Graph& initial, const SpannerSpec& spec, ReconvergeStrategy strategy);
+    const Graph& initial, const SpannerSpec& spec, ReconvergeStrategy strategy,
+    const FaultConfig& faults = {});
 
 }  // namespace remspan::api

@@ -42,6 +42,10 @@ class FloodManager {
 
   [[nodiscard]] std::uint32_t next_seq() const noexcept { return next_seq_; }
 
+  /// Number of (origin, seq) suppression keys currently held — O(live
+  /// floods since the last reset_seen()), pinned by the epoch-memory tests.
+  [[nodiscard]] std::size_t seen_size() const noexcept { return seen_.size(); }
+
   /// Forgets every recorded (origin, seq) key while keeping the sequence
   /// counter. Safe between flooding epochs that each run to quiescence:
   /// later floods carry fresh seqs, so suppression state from drained

@@ -1,5 +1,7 @@
 #include "sim/network.hpp"
 
+#include "sim/link_model.hpp"
+
 namespace remspan {
 
 std::uint32_t NodeContext::round() const noexcept { return net_->round(); }
@@ -13,6 +15,17 @@ Network::Network(const Graph& g, const ProtocolFactory& factory)
   for (NodeId v = 0; v < g.num_nodes(); ++v) protocols_.push_back(factory(v));
 }
 
+Network::~Network() = default;
+
+void Network::set_link_model(std::unique_ptr<LinkModel> model) {
+  link_model_ = std::move(model);
+  future_.clear();
+  cursor_ = 0;
+  if (link_model_ != nullptr) {
+    future_.resize(link_model_->config().max_delay() + 2);
+  }
+}
+
 void Network::enqueue_broadcast(NodeId from, Message msg) {
   msg.from = from;
   stats_.transmissions += 1;
@@ -20,40 +33,114 @@ void Network::enqueue_broadcast(NodeId from, Message msg) {
   outbox_[from].push_back(std::move(msg));
 }
 
-std::uint32_t Network::run(std::uint32_t max_rounds) {
+void Network::deliver(NodeId to, const Message& msg) {
+  stats_.receptions += 1;
+  NodeContext ctx(*this, to);
+  protocols_[to]->on_message(ctx, msg);
+}
+
+bool Network::has_pending() const {
+  for (const auto& box : outbox_) {
+    if (!box.empty()) return true;
+  }
+  for (const auto& slot : future_) {
+    if (!slot.empty()) return true;
+  }
+  return false;
+}
+
+bool Network::all_done() const {
+  for (const auto& p : protocols_) {
+    if (!p->done()) return false;
+  }
+  return true;
+}
+
+std::uint64_t Network::progress_sum() const {
+  std::uint64_t sum = 0;
+  for (const auto& p : protocols_) sum += p->state_version();
+  return sum;
+}
+
+void Network::step_round() {
   // LOCAL-model semantics, matching the paper's round accounting: within
   // one round every node first acts (on_round, send phase), then receives
-  // everything sent this round. Messages queued while *receiving* (flood
+  // everything due this round. Messages queued while *receiving* (flood
   // forwarding) are sent in the next round's send phase.
   const NodeId n = g_->num_nodes();
-  std::uint32_t executed = 0;
-  for (; executed < max_rounds; ++executed) {
-    bool any_pending = false;
-    for (const auto& box : outbox_) any_pending |= !box.empty();
-    bool all_done = true;
-    for (const auto& p : protocols_) all_done &= p->done();
-    if (all_done && !any_pending) break;
-
-    ++stats_.rounds;
-    // Send phase.
-    for (NodeId v = 0; v < n; ++v) {
-      NodeContext ctx(*this, v);
-      protocols_[v]->on_round(ctx);
-    }
-    // Receive phase: deliver everything queued so far (pre-round leftovers
-    // from forwarding plus this round's sends). A broadcast by u reaches
-    // every current neighbor of u.
-    std::vector<std::vector<Message>> inflight(n);
-    inflight.swap(outbox_);
-    for (NodeId u = 0; u < n; ++u) {
-      for (const Message& msg : inflight[u]) {
-        for (const NodeId v : g_->neighbors(u)) {
-          stats_.receptions += 1;
-          NodeContext ctx(*this, v);
-          protocols_[v]->on_message(ctx, msg);
+  ++stats_.rounds;
+  // Send phase.
+  for (NodeId v = 0; v < n; ++v) {
+    NodeContext ctx(*this, v);
+    protocols_[v]->on_round(ctx);
+  }
+  // Receive phase: swap the outboxes first so forwards triggered below
+  // enqueue for the *next* round, preserving one-hop-per-round timing.
+  std::vector<std::vector<Message>> inflight(n);
+  inflight.swap(outbox_);
+  // Copies the link model postponed to this round arrive first (they are
+  // older than anything sent this round).
+  if (!future_.empty()) {
+    std::vector<Pending> matured;
+    matured.swap(future_[cursor_]);
+    for (const Pending& p : matured) deliver(p.to, p.msg);
+  }
+  // This round's sends (plus pre-round leftovers from forwarding). A
+  // broadcast by u reaches every current neighbor of u — per copy, the
+  // link model may drop or postpone.
+  for (NodeId u = 0; u < n; ++u) {
+    for (const Message& msg : inflight[u]) {
+      for (const NodeId v : g_->neighbors(u)) {
+        if (link_model_ != nullptr) {
+          const LinkDecision d = link_model_->decide(stats_.rounds, u, v, msg);
+          if (!d.deliver) {
+            stats_.drops += 1;
+            continue;
+          }
+          if (d.delay > 0) {
+            stats_.delayed += 1;
+            future_[(cursor_ + d.delay) % future_.size()].push_back(Pending{v, msg});
+            continue;
+          }
         }
+        deliver(v, msg);
       }
     }
+  }
+  if (!future_.empty()) cursor_ = (cursor_ + 1) % future_.size();
+}
+
+std::uint32_t Network::run(std::uint32_t max_rounds) {
+  if (link_model_ != nullptr) link_model_->begin_epoch(stats_.rounds);
+  std::uint32_t executed = 0;
+  for (; executed < max_rounds; ++executed) {
+    if (all_done() && !has_pending()) break;
+    step_round();
+  }
+  return executed;
+}
+
+std::uint32_t Network::run_until_quiescent(std::uint32_t window, std::uint32_t max_rounds,
+                                           const std::function<bool()>& converged) {
+  REMSPAN_CHECK(window > 0);
+  if (link_model_ != nullptr) link_model_->begin_epoch(stats_.rounds);
+  std::uint32_t executed = 0;
+  std::uint32_t idle = 0;
+  while (executed < max_rounds) {
+    if (idle >= window) {
+      // A quiet point. Without an oracle it is the stop; with one, stop
+      // only on a confirmed state — otherwise restart the window and let
+      // the periodic retransmissions keep healing the remaining gaps.
+      if (!converged || converged()) break;
+      idle = 0;
+    }
+    // Fast exit for the drained case (every protocol done, channel empty):
+    // nothing can ever change again, no need to sit out the window.
+    if (all_done() && !has_pending()) break;
+    const std::uint64_t before = progress_sum();
+    step_round();
+    ++executed;
+    idle = progress_sum() == before ? idle + 1 : 0;
   }
   return executed;
 }
@@ -62,6 +149,7 @@ void Network::change_topology(const Graph& g) {
   REMSPAN_CHECK(g.num_nodes() == g_->num_nodes());
   g_ = &g;
   for (auto& box : outbox_) box.clear();
+  for (auto& slot : future_) slot.clear();
 }
 
 }  // namespace remspan

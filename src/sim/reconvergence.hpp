@@ -54,6 +54,79 @@
 // round schedule and per-node cost match Algorithm RemSpan's
 // 1 + 2*scope budget exactly; a batch whose delta is empty costs zero
 // rounds and zero messages.
+//
+// ---------------------------------------------------------------------------
+// Convergence under loss (the contract the fault layer is tested against)
+// ---------------------------------------------------------------------------
+//
+// Claim. Fix a graph, a RemSpanConfig, a strategy and a churn trace, and run
+// the driver over any LinkModelConfig whose per-copy delivery probability is
+// bounded away from zero on every link at all times (iid drop p < 1,
+// Gilbert–Elliott with p_bad_to_good > 0 and drop_bad < 1 or finite bursts,
+// finite delay + jitter, partition/kill schedules active on finitely many
+// rounds of each epoch, drop-every-Nth attrition — which delivers all but
+// every Nth copy, and cannot lock onto the re-advertisement schedule
+// because the emission jitter keeps that schedule aperiodic — so every
+// constructor-accepted config qualifies) with the reliable protocol
+// variant. Then every epoch quiesces with probability
+// 1, and at quiescence the per-node converged state — each node's advertised
+// tree, its scope-ball neighbor lists and its scope-ball tree views — is
+// bit-for-bit the state the lossless one-shot run reaches. Loss and delay
+// cost rounds and messages, never correctness.
+//
+// Proof sketch, by induction over epochs.
+//
+//   (1) Content determinism. Within one epoch each advertiser's streams
+//       have fixed final content: its HELLO names it, its neighbor list is
+//       driver-sensed before the epoch starts, and its tree is a
+//       deterministic function (compute_local_tree_edges) of its sensed
+//       neighbors and its stored ball lists. Retransmissions carry a fresh
+//       flood seq — so duplicate suppression never blocks them and each
+//       re-flood re-walks the whole ttl = scope ball, healing any gap the
+//       channel punched downstream — but unchanged content and version.
+//   (2) Eventual delivery. Every advertiser re-floods its streams at least
+//       once per backoff_cap + retransmit_jitter rounds until the epoch
+//       ends, at emission times jittered by a per-(node, resend) hash so no
+//       periodic loss process stays phase-locked to them. Each re-flood
+//       reaches each ball member through some shortest path with probability
+//       bounded below by a positive constant (finitely many links, each
+//       delivering with probability > 0 once the scripted windows lapse), so
+//       with probability 1 every node eventually holds every ball origin's
+//       final list and final tree. Monotone version acceptance makes
+//       reordered late copies (delay jitter) harmless: a node never replaces
+//       newer content with older.
+//   (3) Final recompute. A reliable node recomputes its tree whenever an
+//       accepted message changed its inputs. After the last input change its
+//       last recompute reads exactly its sensed neighbors plus the fresh
+//       scope-ball lists — the same inputs as the lossless run (stale
+//       out-of-ball leftovers are unreachable by the ball walk from fresh
+//       lists) — and determinism gives the identical tree. If the content is
+//       unchanged, no new version is flooded, so retransmissions alone never
+//       register as progress.
+//   (4) Termination is *confirmed*, not guessed. A window of W >=
+//       3*backoff_cap + max_delay + 2 consecutive progress-free rounds is
+//       only a candidate stop: it makes an undelivered stream unlikely
+//       (every advertiser retransmitted at least twice inside the window),
+//       but at high loss every one of those copies can die, and a scripted
+//       schedule (drop-every-Nth attrition aligned with the periodic
+//       backoff-capped traffic) can even arrange it deterministically. So
+//       at each quiet point the driver consults a completeness oracle —
+//       global termination detection, the standard device for synchronous
+//       simulators — which checks that every node is settled and holds, for
+//       every origin within scope on the current graph, that origin's
+//       current list and tree, content-equal. If not, the epoch simply
+//       keeps running (the idle window restarts) and (2) delivers the gap
+//       with probability 1, so the epoch ends with probability 1 and *only*
+//       in the state of (3), which by the dirty-ball argument above equals
+//       the lossless converged state. A real deployment has no oracle; it
+//       keeps the soft-state periodic refresh running instead and a node
+//       that missed part of a stream converges in a later refresh period —
+//       same fixpoint, later clock (graceful degradation).
+//
+// tests/test_reconvergence_loss.cpp pins the claim across loss rates, delay
+// jitter, burst loss, partition/flood-kill schedules, graph families and
+// both strategies, comparing against the lossless run and the centralized
+// construction after every batch.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +138,7 @@
 #include "dynamic/dynamic_graph.hpp"
 #include "graph/bfs.hpp"
 #include "graph/edge_set.hpp"
+#include "sim/link_model.hpp"
 #include "sim/network.hpp"
 #include "sim/remspan_protocol.hpp"
 
@@ -92,6 +166,8 @@ struct ReconvergeBatchStats {
   std::uint64_t receptions = 0;      ///< per-neighbor deliveries
   std::uint64_t payload_words = 0;   ///< payload volume over all transmissions
   std::uint64_t wire_bytes = 0;      ///< headers + payload (NetworkStats::wire_bytes)
+  std::uint64_t drops = 0;           ///< copies the link model destroyed
+  std::uint64_t delayed = 0;         ///< copies the link model postponed
   std::size_t spanner_edges = 0;     ///< |union of advertised trees| after the batch
   double seconds = 0.0;              ///< wall time of the simulated batch
 };
@@ -104,8 +180,12 @@ class ReconvergenceSim {
  public:
   /// Builds the network on `initial` and runs the initial convergence
   /// (every node advertises from a cold start; cost in initial_stats()).
+  /// A faulty `faults.link` attaches a LinkModel to the channel and switches
+  /// every node to the reliable protocol variant (retransmission + backoff +
+  /// quiescence detection); the default FaultConfig keeps the lossless
+  /// one-shot schedule bit-identical to the pre-fault-layer driver.
   ReconvergenceSim(const Graph& initial, const RemSpanConfig& config,
-                   ReconvergeStrategy strategy);
+                   ReconvergeStrategy strategy, const FaultConfig& faults = {});
   ~ReconvergenceSim();
 
   ReconvergenceSim(const ReconvergenceSim&) = delete;
@@ -113,6 +193,7 @@ class ReconvergenceSim {
 
   [[nodiscard]] const RemSpanConfig& config() const noexcept { return config_; }
   [[nodiscard]] ReconvergeStrategy strategy() const noexcept { return strategy_; }
+  [[nodiscard]] const FaultConfig& faults() const noexcept { return faults_; }
 
   /// The snapshot the protocol state currently refers to.
   [[nodiscard]] const Graph& graph() const noexcept { return *graph_; }
@@ -145,8 +226,20 @@ class ReconvergenceSim {
   [[nodiscard]] std::map<NodeId, std::vector<Edge>> node_ball_trees(NodeId v) const;
 
  private:
+  /// Runs one convergence epoch: to the confirmed quiescence detector under
+  /// a reliable configuration, to the fixed round budget otherwise.
+  std::uint32_t run_epoch();
+
+  /// The completeness oracle behind confirmed quiescence (proof-sketch step
+  /// 4): true iff every node is settled and holds, for every origin within
+  /// flood_scope() of it on the current graph, that origin's current sensed
+  /// neighbor list and currently advertised tree, content-equal.
+  [[nodiscard]] bool ball_state_complete();
+
   RemSpanConfig config_;
   ReconvergeStrategy strategy_;
+  FaultConfig faults_;
+  ReliabilityConfig rel_;
   DynamicGraph dynamic_;
   std::shared_ptr<const Graph> graph_;
   std::unique_ptr<Network> net_;

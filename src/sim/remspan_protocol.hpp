@@ -19,6 +19,7 @@
 
 #include "core/dominating_tree.hpp"
 #include "sim/flooding.hpp"
+#include "sim/link_model.hpp"
 #include "sim/network.hpp"
 
 namespace remspan {
@@ -28,6 +29,21 @@ namespace remspan {
 inline constexpr std::uint32_t kMsgHello = 1;         ///< neighbor discovery, empty payload
 inline constexpr std::uint32_t kMsgNeighborList = 2;  ///< origin's sorted neighbor list
 inline constexpr std::uint32_t kMsgTree = 3;          ///< origin's tree edges as (u,v) pairs
+
+/// Under a reliable (retransmitting) configuration the kMsgNeighborList and
+/// kMsgTree payloads carry a leading content-version word so receivers can
+/// discard stale copies regardless of arrival order (delay jitter reorders
+/// floods); the lossless one-shot schedule omits it — content is flooded
+/// exactly once, so there is nothing to order.
+inline constexpr std::size_t kVersionPrefixWords = 1;
+
+/// Safety margin added to the exact 1 + 2*scope schedule when capping a
+/// lossless protocol epoch. A lossless run terminates by quiescence at
+/// exactly expected_rounds() (pinned by Reconvergence.LosslessRunsStopAt
+/// ExactlyThePredictedRound); the slack only bounds the simulator loop if
+/// a protocol bug ever kept messages in flight, so that the failure shows
+/// up as a wrong round count instead of a hang.
+inline constexpr std::uint32_t kLosslessRoundSlack = 4;
 
 struct RemSpanConfig {
   /// Which dominating-tree algorithm each node runs locally.
@@ -53,6 +69,13 @@ struct RemSpanConfig {
 
   /// Total round budget 2r - 1 + 2 beta claimed by the paper.
   [[nodiscard]] std::uint32_t expected_rounds() const;
+
+  /// Simulator cap for one lossless epoch: the exact schedule plus
+  /// kLosslessRoundSlack so a protocol bug hangs the round counter, not the
+  /// process. The single named home of the former "expected_rounds() + 4".
+  [[nodiscard]] std::uint32_t round_budget() const {
+    return expected_rounds() + kLosslessRoundSlack;
+  }
 
   /// Human-readable kind name (bench/tool labels).
   [[nodiscard]] const char* kind_name() const noexcept;
@@ -80,11 +103,21 @@ struct RemSpanConfig {
 
 class RemSpanProtocol : public Protocol {
  public:
-  explicit RemSpanProtocol(const RemSpanConfig& config) : config_(config) {}
+  /// With reliability disabled (the default) the node runs the paper's
+  /// exact one-shot schedule — bit-identical wire accounting to the
+  /// pre-fault-layer protocol. With reliability enabled it additionally
+  /// re-advertises HELLO + list + tree with capped exponential backoff,
+  /// version-prefixes the flood payloads, and recomputes its tree whenever
+  /// late input arrives, so it converges over a lossy LinkModel channel.
+  explicit RemSpanProtocol(const RemSpanConfig& config, const ReliabilityConfig& rel = {})
+      : config_(config), rel_(rel) {}
 
   void on_round(NodeContext& ctx) override;
   void on_message(NodeContext& ctx, const Message& msg) override;
-  [[nodiscard]] bool done() const override { return tree_flooded_; }
+  /// Reliable nodes never self-declare done: an ack-less sender cannot know
+  /// its floods landed, so termination is the quiescence detector's call.
+  [[nodiscard]] bool done() const override { return rel_.enabled ? false : tree_flooded_; }
+  [[nodiscard]] std::uint64_t state_version() const override { return progress_; }
 
   /// This node's dominating tree (global edge endpoints); valid once done().
   [[nodiscard]] const std::vector<Edge>& tree_edges() const { return tree_edges_; }
@@ -99,11 +132,35 @@ class RemSpanProtocol : public Protocol {
     return topology_;
   }
 
+  // Read-only hooks for the driver's completeness oracle (reliable mode;
+  // see run_remspan_distributed and reconvergence.hpp proof-sketch step 4).
+  /// True once nothing is scheduled locally: the tree is computed and no
+  /// re-advertisement or recompute is pending over the inputs so far.
+  [[nodiscard]] bool settled() const noexcept {
+    return tree_computed_ && !recompute_needed_ && !list_dirty_;
+  }
+  /// The neighbor set accumulated from HELLOs, sorted ascending (valid
+  /// from local round 2 on).
+  [[nodiscard]] const std::vector<NodeId>& sensed_neighbors() const noexcept {
+    return neighbors_;
+  }
+  /// Latest accepted tree per origin (reliable mode backing of
+  /// heard_tree_edges()).
+  [[nodiscard]] const std::map<NodeId, std::vector<Edge>>& heard_trees() const noexcept {
+    return heard_trees_;
+  }
+
  private:
   void compute_tree(NodeContext& ctx);
   void flood_payload_and_finish(NodeContext& ctx);
+  // Reliable-mode helpers (rel_.enabled only).
+  void send_hello(NodeContext& ctx);
+  void advertise_list(NodeContext& ctx);
+  void flood_tree(NodeContext& ctx);
+  void rebuild_heard_edges();
 
   RemSpanConfig config_;
+  ReliabilityConfig rel_;
   FloodManager flood_;
   std::vector<NodeId> neighbors_;                     // from HELLO
   std::map<NodeId, std::vector<NodeId>> topology_;    // origin -> its neighbors
@@ -112,6 +169,21 @@ class RemSpanProtocol : public Protocol {
   std::uint32_t local_round_ = 0;
   bool tree_computed_ = false;
   bool tree_flooded_ = false;
+  // Reliable mode only: progress counter for the quiescence detector,
+  // content versions of the own streams, accepted version per origin and
+  // stream (monotone acceptance makes delayed reordered copies harmless),
+  // per-origin trees backing heard_edges_, and the retransmission clock.
+  std::uint64_t progress_ = 0;
+  std::uint32_t list_version_ = 0;
+  std::uint32_t tree_version_ = 0;
+  bool list_dirty_ = false;       // content changed since last advertisement
+  bool recompute_needed_ = false; // tree inputs changed since last compute
+  std::map<NodeId, std::uint32_t> list_rx_version_;
+  std::map<NodeId, std::uint32_t> tree_rx_version_;
+  std::map<NodeId, std::vector<Edge>> heard_trees_;
+  std::uint32_t retransmit_interval_ = 0;
+  std::uint32_t next_retransmit_ = 0;
+  std::uint32_t resend_count_ = 0;  // feeds the per-node emission jitter
 };
 
 /// Runs the protocol on g and returns the union of all computed trees as an
@@ -123,5 +195,16 @@ struct DistributedRunResult {
 };
 [[nodiscard]] DistributedRunResult run_remspan_distributed(const Graph& g,
                                                            const RemSpanConfig& config);
+
+/// As above, but over a faulted channel: attaches a LinkModel built from
+/// `faults.link` and, whenever the channel is faulty (or reliability was
+/// requested explicitly), runs the reliable protocol variant until the
+/// quiescence detector fires. For a faultless default FaultConfig this is
+/// byte-identical to the two-argument overload. The convergence-under-loss
+/// contract (reconvergence.hpp) applies: for any loss rate < 1 the returned
+/// spanner equals the lossless run's spanner edge-for-edge.
+[[nodiscard]] DistributedRunResult run_remspan_distributed(const Graph& g,
+                                                           const RemSpanConfig& config,
+                                                           const FaultConfig& faults);
 
 }  // namespace remspan

@@ -213,6 +213,35 @@ TEST(Reconvergence, MprDistributedMatchesCentralizedUnion) {
   EXPECT_EQ(fresh.rounds, cfg.expected_rounds());
 }
 
+TEST(Reconvergence, LosslessRunsStopAtExactlyThePredictedRound) {
+  // The paper's schedule is exact: a lossless run terminates by quiescence
+  // at precisely expected_rounds() = 1 + 2*scope = 2r - 1 + 2*beta. The
+  // kLosslessRoundSlack in round_budget() is a hang guard, never consumed.
+  Rng rng(21);
+  const Graph g = connected_gnp(40, 0.15, rng);
+  const RemSpanConfig configs[] = {
+      make_config(RemSpanConfig::Kind::kKConnGreedy),
+      make_config(RemSpanConfig::Kind::kKConnMis, 2, 1, 2),
+      make_config(RemSpanConfig::Kind::kLowStretchGreedy, 3, 1),
+      make_config(RemSpanConfig::Kind::kLowStretchMis, 3),
+      make_config(RemSpanConfig::Kind::kOlsrMpr),
+  };
+  for (const RemSpanConfig& cfg : configs) {
+    ASSERT_GT(cfg.round_budget(), cfg.expected_rounds());  // slack, not schedule
+    const auto fresh = run_remspan_distributed(g, cfg);
+    EXPECT_EQ(fresh.rounds, cfg.expected_rounds()) << cfg.kind_name();
+
+    // The churn driver's cold start follows the same exact schedule...
+    ReconvergenceSim sim(g, cfg, ReconvergeStrategy::kIncremental);
+    EXPECT_EQ(sim.initial_stats().rounds, cfg.expected_rounds()) << cfg.kind_name();
+
+    // ...and so does every non-empty lossless batch.
+    const Edge e = g.edges()[3];
+    const GraphEvent down[] = {GraphEvent::edge_down(e.u, e.v)};
+    EXPECT_EQ(sim.apply_batch(down).rounds, cfg.expected_rounds()) << cfg.kind_name();
+  }
+}
+
 TEST(Reconvergence, NodeOutageAndRecovery) {
   // A node going down removes its links; coming back restores them. The
   // protocol state must track both transitions exactly.

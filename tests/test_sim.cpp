@@ -116,6 +116,65 @@ TEST(Flooding, EveryNodeForwardsAtMostOncePerFlood) {
   EXPECT_GE(net.stats().transmissions, 8u);
 }
 
+TEST(Flooding, TtlZeroIsNeverForwarded) {
+  // A ttl = 0 origination still goes on the air once (it is a broadcast)
+  // and reaches the direct neighbors, but no receiver ever forwards it.
+  const Graph g = path_graph(4);
+  Network net(g, [](NodeId) { return std::make_unique<FloodOnce>(0); });
+  net.run(10);
+  EXPECT_EQ(net.stats().transmissions, 1u);  // the origination only
+  EXPECT_TRUE(dynamic_cast<const FloodOnce&>(net.node(1)).received);
+  EXPECT_FALSE(dynamic_cast<const FloodOnce&>(net.node(2)).received);
+  EXPECT_FALSE(dynamic_cast<const FloodOnce&>(net.node(3)).received);
+}
+
+TEST(Flooding, ResetSeenReacceptsDuplicateExactlyOnce) {
+  // After reset_seen() a previously seen (origin, seq) key is accepted
+  // exactly once more — the suppression state restarts, the dedup logic
+  // does not.
+  const Graph g = path_graph(2);
+  Network net(g, [](NodeId) { return std::make_unique<FloodOnce>(1); });
+  NodeContext ctx(net, 1);
+  FloodManager fm;
+  Message msg;
+  msg.origin = 0;
+  msg.seq = 7;
+  msg.type = 9;
+  msg.ttl = 1;
+  EXPECT_TRUE(fm.accept(ctx, msg));
+  EXPECT_FALSE(fm.accept(ctx, msg));
+  EXPECT_FALSE(fm.accept(ctx, msg));
+  fm.reset_seen();
+  EXPECT_TRUE(fm.accept(ctx, msg));   // re-accepted exactly once...
+  EXPECT_FALSE(fm.accept(ctx, msg));  // ...then suppressed again
+}
+
+TEST(Flooding, SeenStateStaysBoundedAcrossEpochs) {
+  // Long replays must hold O(live keys), not O(floods ever seen): each
+  // epoch's keys vanish at reset_seen() while the seq counter keeps
+  // growing (so old keys can never collide with future floods).
+  const Graph g = path_graph(2);
+  Network net(g, [](NodeId) { return std::make_unique<FloodOnce>(1); });
+  NodeContext ctx(net, 0);
+  FloodManager fm;
+  std::uint32_t expected_seq = 0;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 3; ++i) fm.originate(ctx, 9, 1, {});
+    expected_seq += 3;
+    // Plus one remote flood accepted this epoch.
+    Message msg;
+    msg.origin = 1;
+    msg.seq = expected_seq;
+    msg.type = 9;
+    msg.ttl = 1;
+    EXPECT_TRUE(fm.accept(ctx, msg));
+    EXPECT_EQ(fm.seen_size(), 4u) << "epoch " << epoch;  // 3 own + 1 remote
+    fm.reset_seen();
+    EXPECT_EQ(fm.seen_size(), 0u) << "epoch " << epoch;
+    EXPECT_EQ(fm.next_seq(), expected_seq);  // the counter survives the reset
+  }
+}
+
 TEST(Network, TopologyChangeDropsInflight) {
   const Graph g1 = path_graph(4);
   const Graph g2 = cycle_graph(4);
