@@ -59,7 +59,7 @@ ScenarioResult run_scenario(const std::string& name, const ChurnTrace& trace,
     sum_dirty += static_cast<double>(stats.dirty_roots);
     sum_spanner += static_cast<double>(stats.spanner_edges);
     if ((b + 1) % rebuild_every == 0 || b + 1 == trace.batches.size()) {
-      Timer timer;
+      obs::PhaseSpan timer("bench.rebuild_check", "bench");
       const EdgeSet scratch = cfg.build_full(inc.graph());
       rebuild_total += timer.seconds();
       ++rebuilds;

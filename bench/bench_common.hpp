@@ -10,11 +10,11 @@
 
 #include "geom/ball_graph.hpp"
 #include "graph/connectivity.hpp"
+#include "obs/obs.hpp"
 #include "util/json_report.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 namespace remspan::bench {
 
@@ -59,7 +59,11 @@ class Report {
   void value(const std::string& key, T v) { report_.value(key, v); }
 
   void finish() {
-    report_.set_wall_seconds(timer_.seconds());
+    // When a metrics sink is on (REMSPAN_METRICS or a driver), the whole
+    // run's counters land in the report under obs.* — flat keys so
+    // bench_diff can track them like any other value.
+    if (obs::Registry* m = obs::metrics()) m->snapshot().append_to(report_, "obs.");
+    report_.set_wall_seconds(span_.seconds());
     const std::string file = report_.default_filename();
     report_.write_file(file);
     std::cout << "\nreport: " << file << "\n";
@@ -67,7 +71,7 @@ class Report {
 
  private:
   BenchReport report_;
-  Timer timer_;
+  obs::PhaseSpan span_{"bench.run", "bench"};
 };
 
 }  // namespace remspan::bench

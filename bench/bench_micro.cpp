@@ -8,8 +8,8 @@
 #include <algorithm>
 #include <iostream>
 
+#include "obs/obs.hpp"
 #include "util/json_report.hpp"
-#include "util/timer.hpp"
 
 #include "baseline/mpr.hpp"
 #include "core/dominating_tree.hpp"
@@ -183,6 +183,33 @@ void BM_DisjointPathsOracle(benchmark::State& state) {
 }
 BENCHMARK(BM_DisjointPathsOracle)->Unit(benchmark::kMillisecond);
 
+void BM_ObsCounterHot(benchmark::State& state) {
+  // Price of one counter bump with a registry installed — what the drained
+  // per-call tallies pay per publish when a sink is live.
+  obs::Registry registry;
+  const obs::ScopedSinks sinks(&registry, nullptr);
+  obs::Counter& counter = registry.counter("bench.hot");
+  for (auto _ : state) {
+    counter.add(1);
+    benchmark::DoNotOptimize(&counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsCounterHot);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  // The disabled path the determinism contract pins: with no sinks
+  // installed a PhaseSpan must cost the stopwatch read plus one predicted
+  // branch per endpoint, nothing more. Gated by the committed baseline like
+  // every other micro value.
+  for (auto _ : state) {
+    const obs::PhaseSpan span("bench.disabled", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
 /// Console output as usual, plus seconds-per-iteration collected for the
 /// JSON report. Benchmark names like "BM_DomTreeMis/3" become keys with the
 /// '/' flattened to '_' and a "_seconds" suffix — the suffix is what makes
@@ -210,7 +237,7 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 }  // namespace remspan
 
 int main(int argc, char** argv) {
-  remspan::Timer timer;
+  remspan::obs::PhaseSpan timer("bench.run", "bench");
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   remspan::CollectingReporter reporter;

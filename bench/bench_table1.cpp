@@ -64,7 +64,7 @@ int bench_main(int argc, char** argv) {
 
   Table table({"input", "type of spanner", "paper bound", "edges", "time(s)",
                "stretch verified"});
-  Timer timer;
+  obs::PhaseSpan timer("bench.table1", "bench");
 
   auto verified_remote = [](const Graph& g, const EdgeSet& h, Stretch s) {
     return check_remote_stretch(g, h, s).satisfied ? "yes" : "NO";

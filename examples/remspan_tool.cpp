@@ -32,18 +32,25 @@
 // protocol to its reliable (retransmit + quiescence-detect) variant; the
 // bit-exactness checks still hold — that is the convergence-under-loss
 // contract of reconvergence.hpp.
+//
+// Observability: --trace-out <file> records the run as Chrome trace_event
+// JSON (load in Perfetto / chrome://tracing), --metrics-out <file> dumps
+// the metrics-registry snapshot; the REMSPAN_TRACE / REMSPAN_METRICS
+// environment variables do the same without flags. Enabling either never
+// changes any computed result (docs/OBSERVABILITY.md).
 #include <fstream>
 #include <iostream>
 
 #include "analysis/spanner_stats.hpp"
+#include "api/observability.hpp"
 #include "api/registry.hpp"
 #include "api/spec.hpp"
 #include "dynamic/churn_trace.hpp"
 #include "graph/graphio.hpp"
+#include "obs/obs.hpp"
 #include "sim/reconvergence.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 using namespace remspan;
 
@@ -130,6 +137,45 @@ FaultConfig fault_config_from_flags(Options& opts, std::uint64_t seed) {
   return faults;
 }
 
+/// RAII for --trace-out / --metrics-out: enables the requested sinks (on
+/// top of whatever REMSPAN_TRACE / REMSPAN_METRICS already switched on) at
+/// construction and writes the files on scope exit, covering every return
+/// path of tool_main.
+class ObsOutputs {
+ public:
+  ObsOutputs(std::string trace_path, std::string metrics_path)
+      : trace_path_(std::move(trace_path)), metrics_path_(std::move(metrics_path)) {
+    api::observability_from_env();
+    if (!trace_path_.empty() || !metrics_path_.empty()) {
+      api::enable_observability(!metrics_path_.empty() || obs::metrics() != nullptr,
+                                !trace_path_.empty() || obs::trace() != nullptr);
+    }
+  }
+  ~ObsOutputs() {
+    std::string err;
+    if (!trace_path_.empty()) {
+      if (api::write_trace_file(trace_path_, &err)) {
+        std::cout << "trace written to " << trace_path_ << "\n";
+      } else {
+        std::cerr << "trace write failed: " << err << "\n";
+      }
+    }
+    if (!metrics_path_.empty()) {
+      if (api::write_metrics_file(metrics_path_, &err)) {
+        std::cout << "metrics written to " << metrics_path_ << "\n";
+      } else {
+        std::cerr << "metrics write failed: " << err << "\n";
+      }
+    }
+  }
+  ObsOutputs(const ObsOutputs&) = delete;
+  ObsOutputs& operator=(const ObsOutputs&) = delete;
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
+
 /// Loads a trace file, mapping I/O and parse failures to exit code 2
 /// (reported via the bool). read_churn_trace throws CheckError on
 /// malformed input.
@@ -162,7 +208,7 @@ int run_churn_replay(const std::string& path, const api::SpannerSpec& spec,
     return 2;
   }
 
-  Timer timer;
+  obs::PhaseSpan timer("tool.churn_replay", "tool");
   const auto session = api::open_incremental_session(trace.initial_graph(), spec);
   IncrementalSpanner& inc = session->engine();
   const IncrementalConfig& cfg = inc.config();
@@ -299,6 +345,8 @@ int tool_main(int argc, char** argv) {
       spanner_spec_from_flags(construction, opts, seed, spec_seed_explicit);
   std::string churn_path = opts.get_string("churn-trace", "");
   const bool reconverge = opts.get_flag("reconverge");
+  const std::string trace_out = opts.get_string("trace-out", "");
+  const std::string metrics_out = opts.get_string("metrics-out", "");
   const FaultConfig faults = fault_config_from_flags(opts, seed);
   const std::string emit_trace_path = opts.get_string("emit-churn-trace", "");
   const auto trace_batches = static_cast<std::size_t>(opts.get_int("trace-batches", 20));
@@ -313,6 +361,7 @@ int tool_main(int argc, char** argv) {
     return 0;
   }
   if (!opts.reject_unknown(std::cerr)) return 2;
+  const ObsOutputs obs_outputs(trace_out, metrics_out);
   Graph g = api::build_graph(graph_spec, &rng);
 
   if (!emit_trace_path.empty()) {
@@ -342,7 +391,7 @@ int tool_main(int argc, char** argv) {
     std::cout << "graph saved to " << out_path << "\n";
   }
 
-  Timer timer;
+  obs::PhaseSpan timer("tool.build", "tool");
   api::BuildContext ctx;
   // Thread the CLI seed RNG through seeded builds — unless the spec string
   // itself pinned a seed, which then drives a fresh RNG inside the build.

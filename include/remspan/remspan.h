@@ -210,6 +210,22 @@ REMSPAN_API remspan_status_t remspan_session_graph(const remspan_session_t* sess
 
 REMSPAN_API void remspan_session_free(remspan_session_t* session);
 
+/* --- observability (additive, ABI version unchanged) -------------------- */
+
+/* Turns the process-wide metrics registry on (non-zero) or off (zero).
+ * Disabled is the default and costs one predicted branch per hook site;
+ * enabling never changes any computed result. Collected values survive a
+ * disable/enable cycle. Do not toggle while another thread is inside a
+ * library call. */
+REMSPAN_API remspan_status_t remspan_metrics_enable(int enable);
+
+/* JSON snapshot of every collected counter, gauge and histogram (schema:
+ * docs/OBSERVABILITY.md). Valid JSON with empty sections when metrics were
+ * never enabled. The pointer is owned by the library and valid on the
+ * calling thread until the next remspan_metrics_snapshot call; returns ""
+ * on internal failure. */
+REMSPAN_API const char* remspan_metrics_snapshot(void);
+
 #ifdef __cplusplus
 } /* extern "C" */
 #endif

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "api/observability.hpp"
 #include "api/registry.hpp"
 #include "api/spec.hpp"
 #include "dynamic/dynamic_graph.hpp"
@@ -425,6 +426,31 @@ void remspan_session_free(remspan_session_t* session) {
     delete session;
   } catch (...) {
     // Swallow: a throwing destructor must not unwind through extern "C".
+  }
+}
+
+/* --- observability ------------------------------------------------------ */
+
+remspan_status_t remspan_metrics_enable(int enable) {
+  try {
+    // Trace stays driver-side (REMSPAN_TRACE / --trace-out); the ABI only
+    // switches the metrics registry.
+    api::enable_observability(enable != 0, /*trace=*/false);
+    return REMSPAN_OK;
+  } catch (...) {
+    return trap(std::current_exception());
+  }
+}
+
+const char* remspan_metrics_snapshot(void) {
+  try {
+    // Thread-local storage keeps the returned pointer valid until this
+    // thread's next snapshot call, mirroring remspan_last_error().
+    thread_local std::string t_snapshot;
+    t_snapshot = api::metrics_snapshot_json();
+    return t_snapshot.c_str();
+  } catch (...) {
+    return "";
   }
 }
 

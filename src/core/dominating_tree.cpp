@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <unordered_set>
+#include <utility>
+
+#include "obs/obs.hpp"
 
 namespace remspan {
 
@@ -36,6 +39,21 @@ void DomTreeBuilder::add_parent_chain(RootedTree& tree, NodeId x) {
     const NodeId child = chain[--len];
     tree.add_child(x, child, bfs_.parent_edge(child));
     x = child;
+  }
+}
+
+void DomTreeBuilder::publish_stats(const RootedTree& tree) {
+  // Always drained, so a sink installed mid-process starts from zero
+  // instead of inheriting tallies of builds it never saw.
+  const std::uint64_t pops = std::exchange(stat_heap_pops_, 0);
+  const std::uint64_t rekeys = std::exchange(stat_heap_rekeys_, 0);
+  const std::uint64_t touches = std::exchange(stat_cover_touches_, 0);
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("domtree.builds").add(1);
+    m->counter("domtree.heap_pops").add(pops);
+    m->counter("domtree.heap_rekeys").add(rekeys);
+    m->counter("domtree.cover_touches").add(touches);
+    m->histogram("domtree.tree_edges").record(tree.num_edges());
   }
 }
 
@@ -114,6 +132,7 @@ RootedTree DomTreeBuilder::greedy(NodeId u, Dist r, Dist beta) {
     }
   }
   reset_flags();
+  publish_stats(tree);
   return tree;
 }
 
@@ -143,6 +162,7 @@ RootedTree DomTreeBuilder::mis(NodeId u, Dist r) {
     }
   }
   reset_flags();
+  publish_stats(tree);
   return tree;
 }
 
@@ -195,6 +215,7 @@ RootedTree DomTreeBuilder::greedy_k(NodeId u, Dist k) {
     if (removed) ++s_epoch_;
   }
   reset_flags();
+  publish_stats(tree);
   return tree;
 }
 
@@ -275,6 +296,7 @@ RootedTree DomTreeBuilder::mis_k(NodeId u, Dist k) {
   // Proposition 7: k rounds of MIS domination always empty the shell.
   REMSPAN_CHECK(s_count == 0);
   reset_flags();
+  publish_stats(tree);
   return tree;
 }
 

@@ -75,6 +75,12 @@ class DomTreeBuilder {
   /// Clears the per-node flags for every node the last BFS touched.
   void reset_flags();
 
+  /// Adds the whole-build tallies (heap pops, lazy re-keys, cover-count
+  /// recomputations) into the installed metrics sink and zeroes them. The
+  /// tallies themselves are plain members bumped unconditionally — the
+  /// sink branch happens once per tree build, not per heap operation.
+  void publish_stats(const RootedTree& tree);
+
   /// Heap key for the lazy max-heap: higher cover first, then smaller id
   /// (ids are stored complemented so the default max-heap order does both).
   [[nodiscard]] static constexpr std::uint64_t heap_key(std::uint32_t cover,
@@ -99,6 +105,7 @@ class DomTreeBuilder {
   template <typename CoverFn>
   [[nodiscard]] NodeId pop_best_candidate(std::uint8_t unpicked, CoverFn&& live_cover) {
     while (!heap_.empty()) {
+      ++stat_heap_pops_;
       const HeapEntry entry = heap_.front();
       std::pop_heap(heap_.begin(), heap_.end());
       heap_.pop_back();
@@ -106,9 +113,11 @@ class DomTreeBuilder {
       const auto x = static_cast<NodeId>(~entry.key);
       if (in_x_[x] != unpicked) continue;  // picked: every remaining entry is dead
       if (entry.epoch == s_epoch_) return x;  // S untouched since recording: exact
+      ++stat_cover_touches_;
       const std::uint32_t live = live_cover(x);
       if (live == 0) continue;  // covers never increase: permanently useless
       if (live != recorded) {
+        ++stat_heap_rekeys_;
         push_candidate(live, x);
         continue;
       }
@@ -149,6 +158,10 @@ class DomTreeBuilder {
   // Bumped once per batch of removals from the cover target set S; heap
   // entries recorded at the current epoch need no revalidation.
   std::uint32_t s_epoch_ = 0;
+  // Whole-build observability tallies (see publish_stats).
+  std::uint64_t stat_heap_pops_ = 0;
+  std::uint64_t stat_heap_rekeys_ = 0;
+  std::uint64_t stat_cover_touches_ = 0;
 };
 
 // --- property checkers (used by tests and the approximation benches) -------

@@ -6,9 +6,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/bitset.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace remspan {
 
@@ -29,7 +29,7 @@ namespace {
 EdgeSet union_of_trees(const Graph& g,
                        const std::function<RootedTree(DomTreeBuilder&, NodeId)>& make_tree,
                        SpannerBuildInfo* info) {
-  Timer timer;
+  obs::PhaseSpan span("core.union_of_trees");
   auto& pool = ThreadPool::global();
   const std::size_t workers = pool.concurrency();
 
@@ -41,6 +41,12 @@ EdgeSet union_of_trees(const Graph& g,
 
   std::atomic<std::size_t> sum_edges{0};
   std::atomic<std::size_t> max_edges{0};
+  // Union-cost observability: atomic words or'd and max-tracking CAS
+  // retries, accumulated only when a metrics sink is installed (the
+  // counts are telemetry, not part of the build result).
+  std::atomic<std::uint64_t> words_ord{0};
+  std::atomic<std::uint64_t> cas_retries{0};
+  const bool count_union = obs::metrics() != nullptr;
 
   pool.parallel_for_workers(0, g.num_nodes(), [&](std::size_t root, std::size_t worker) {
     const RootedTree tree = make_tree(*builders[worker], static_cast<NodeId>(root));
@@ -58,11 +64,17 @@ EdgeSet union_of_trees(const Graph& g,
     // Word-level batching (or_batch): one tree's bits merge into plain
     // masks locally, one atomic RMW per touched word — contention stays
     // off the hot loop.
-    shared.or_batch(ids);
+    const std::size_t touched = shared.or_batch(ids);
     sum_edges.fetch_add(edges, std::memory_order_relaxed);
     std::size_t seen = max_edges.load(std::memory_order_relaxed);
+    std::uint64_t retries = 0;
     while (edges > seen &&
            !max_edges.compare_exchange_weak(seen, edges, std::memory_order_relaxed)) {
+      ++retries;
+    }
+    if (count_union) {
+      words_ord.fetch_add(touched, std::memory_order_relaxed);
+      cas_retries.fetch_add(retries, std::memory_order_relaxed);
     }
   });
 
@@ -71,7 +83,14 @@ EdgeSet union_of_trees(const Graph& g,
   if (info != nullptr) {
     info->sum_tree_edges = sum_edges.load();
     info->max_tree_edges = max_edges.load();
-    info->build_seconds = timer.seconds();
+    info->build_seconds = span.seconds();
+  }
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("union.builds").add(1);
+    m->counter("union.trees").add(g.num_nodes());
+    m->counter("union.words_ord").add(words_ord.load());
+    m->counter("union.cas_retries").add(cas_retries.load());
+    m->counter("union.spanner_edges").add(spanner.size());
   }
   return spanner;
 }

@@ -4,8 +4,8 @@
 #include <atomic>
 
 #include "graph/views.hpp"
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
-#include "util/timer.hpp"
 
 namespace remspan {
 
@@ -105,15 +105,21 @@ std::vector<NodeId> collect_dirty_roots_split(const Graph& old_graph, const Grap
                                               std::vector<std::uint8_t>& flag) {
   REMSPAN_CHECK(old_graph.num_nodes() == new_graph.num_nodes());
   flag.assign(old_graph.num_nodes(), 0);
+  // Per-side expansion cost: how many nodes each dependency-ball sweep
+  // visits is the telemetry that tells removal-heavy from insertion-heavy
+  // batches apart (docs/OBSERVABILITY.md).
+  obs::Registry* m = obs::metrics();
   if (!removed_touched.empty()) {
-    for (const NodeId v : bfs.run_multi(GraphView(old_graph), removed_touched, radius)) {
-      flag[v] = 1;
-    }
+    const std::vector<NodeId>& old_ball =
+        bfs.run_multi(GraphView(old_graph), removed_touched, radius);
+    if (m != nullptr) m->counter("inc.expand_old_nodes").add(old_ball.size());
+    for (const NodeId v : old_ball) flag[v] = 1;
   }
   if (!inserted_touched.empty()) {
-    for (const NodeId v : bfs.run_multi(GraphView(new_graph), inserted_touched, radius)) {
-      flag[v] = 1;
-    }
+    const std::vector<NodeId>& new_ball =
+        bfs.run_multi(GraphView(new_graph), inserted_touched, radius);
+    if (m != nullptr) m->counter("inc.expand_new_nodes").add(new_ball.size());
+    for (const NodeId v : new_ball) flag[v] = 1;
   }
   std::vector<NodeId> dirty;
   for (NodeId v = 0; v < flag.size(); ++v) {
@@ -182,7 +188,7 @@ void IncrementalSpanner::rebuild_spanner_bits() {
 }
 
 ChurnBatchStats IncrementalSpanner::apply_batch(std::span<const GraphEvent> events) {
-  Timer timer;
+  obs::PhaseSpan span("inc.apply_batch", "dynamic");
   ChurnBatchStats stats;
   stats.applied_events = dynamic_->apply_all(events);
   stats.version = dynamic_->version();
@@ -195,8 +201,9 @@ ChurnBatchStats IncrementalSpanner::apply_batch(std::span<const GraphEvent> even
     // No live-topology change (all no-ops, or updates masked by down
     // nodes): the spanner — and the old snapshot's id space — stand as-is.
     stats.spanner_edges = spanner_.size();
-    stats.seconds = timer.seconds();
+    stats.seconds = span.seconds();
     version_ = stats.version;
+    if (obs::Registry* m = obs::metrics()) m->counter("inc.noop_batches").add(1);
     return stats;
   }
   stats.removed_edges = delta.removed.size();
@@ -263,7 +270,17 @@ ChurnBatchStats IncrementalSpanner::apply_batch(std::span<const GraphEvent> even
   version_ = stats.version;
   rebuild_spanner_bits();
   stats.spanner_edges = spanner_.size();
-  stats.seconds = timer.seconds();
+  stats.seconds = span.seconds();
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("inc.batches").add(1);
+    m->counter("inc.dirty_roots").add(stats.dirty_roots);
+    m->counter("inc.retired_tree_edges").add(stats.retired_tree_edges);
+    m->counter("inc.rebuilt_tree_edges").add(stats.rebuilt_tree_edges);
+    // Refcount churn: every retire is one fetch_sub, every rebuilt tree
+    // edge one fetch_add on the shared per-edge refcounts.
+    m->counter("inc.refcount_churn").add(stats.retired_tree_edges + stats.rebuilt_tree_edges);
+    m->histogram("inc.dirty_roots_per_batch").record(stats.dirty_roots);
+  }
   return stats;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "graph/views.hpp"
+#include "obs/obs.hpp"
 #include "util/prelude.hpp"
 
 namespace remspan {
@@ -74,6 +75,7 @@ class BoundedBfs {
         view.for_each_neighbor(u, [&](NodeId v) { visit(v, kInvalidEdge); });
       }
     }
+    if (obs::Registry* m = obs::metrics()) publish_stats(*m);
     return order_;
   }
 
@@ -111,6 +113,25 @@ class BoundedBfs {
   }
 
  private:
+  /// Whole-run totals for the installed metrics sink: the ball that was
+  /// just expanded, its shell-size distribution and the widest shell
+  /// (frontier occupancy). One call per run keeps the disabled path to the
+  /// single branch in run_multi.
+  void publish_stats(obs::Registry& m) const {
+    m.counter("bfs.runs").add(1);
+    m.counter("bfs.nodes_expanded").add(order_.size());
+    m.histogram("bfs.ball_nodes").record(order_.size());
+    std::size_t widest = 0;
+    for (std::size_t d = 0; d < shell_offsets_.size(); ++d) {
+      const std::size_t end =
+          d + 1 < shell_offsets_.size() ? shell_offsets_[d + 1] : order_.size();
+      const std::size_t width = end - shell_offsets_[d];
+      if (width > widest) widest = width;
+      m.histogram("bfs.shell_nodes").record(width);
+    }
+    m.histogram("bfs.frontier_max").record(widest);
+  }
+
   void reset() {
     for (const NodeId v : order_) {
       dist_[v] = kUnreachable;

@@ -1,0 +1,154 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+#include "util/json_report.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan::obs {
+
+namespace {
+
+/// Bucket labels are the bucket floors, so a serialized histogram reads as
+/// "samples >= floor (up to the next floor)".
+void append_histogram_json(std::string& out, const HistogramSnapshot& h) {
+  out += "{\"count\": " + std::to_string(h.count);
+  out += ", \"sum\": " + std::to_string(h.sum);
+  out += ", \"buckets\": {";
+  bool first = true;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(std::to_string(Histogram::bucket_floor(i)));
+    out += ": " + std::to_string(h.buckets[i]);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+Snapshot Snapshot::diff(const Snapshot& earlier) const {
+  Snapshot out;
+  for (const auto& [name, value] : counters) {
+    const auto it = earlier.counters.find(name);
+    const std::uint64_t base = it == earlier.counters.end() ? 0 : it->second;
+    REMSPAN_CHECK(value >= base);
+    out.counters.emplace(name, value - base);
+  }
+  for (const auto& [name, value] : gauges) {
+    const auto it = earlier.gauges.find(name);
+    const std::int64_t base = it == earlier.gauges.end() ? 0 : it->second;
+    out.gauges.emplace(name, value - base);
+  }
+  for (const auto& [name, h] : histograms) {
+    const auto it = earlier.histograms.find(name);
+    HistogramSnapshot d = h;
+    if (it != earlier.histograms.end()) {
+      const HistogramSnapshot& base = it->second;
+      REMSPAN_CHECK(h.count >= base.count && h.sum >= base.sum);
+      d.count -= base.count;
+      d.sum -= base.sum;
+      for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+        REMSPAN_CHECK(h.buckets[i] >= base.buckets[i]);
+        d.buckets[i] -= base.buckets[i];
+      }
+    }
+    out.histograms.emplace(name, d);
+  }
+  return out;
+}
+
+void Snapshot::merge(const Snapshot& other) {
+  for (const auto& [name, value] : other.counters) counters[name] += value;
+  for (const auto& [name, value] : other.gauges) gauges[name] += value;
+  for (const auto& [name, h] : other.histograms) {
+    HistogramSnapshot& mine = histograms[name];
+    mine.count += h.count;
+    mine.sum += h.sum;
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) mine.buckets[i] += h.buckets[i];
+  }
+}
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(name) + ": " + std::to_string(value);
+  }
+  out += "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(name) + ": " + std::to_string(value);
+  }
+  out += "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += json_quote(name) + ": ";
+    append_histogram_json(out, h);
+  }
+  out += "}\n}\n";
+  return out;
+}
+
+void Snapshot::append_to(BenchReport& report, const std::string& prefix) const {
+  for (const auto& [name, value] : counters) {
+    report.value(prefix + name, static_cast<std::int64_t>(value));
+  }
+  for (const auto& [name, value] : gauges) report.value(prefix + name, value);
+  for (const auto& [name, h] : histograms) {
+    report.value(prefix + name + "_count", static_cast<std::int64_t>(h.count));
+    report.value(prefix + name + "_sum", static_cast<std::int64_t>(h.sum));
+  }
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Snapshot Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot out;
+  for (const auto& [name, c] : counters_) out.counters.emplace(name, c->value());
+  for (const auto& [name, g] : gauges_) out.gauges.emplace(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.count = h->count();
+    s.sum = h->sum();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) s.buckets[i] = h->bucket(i);
+    out.histograms.emplace(name, s);
+  }
+  return out;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace remspan::obs

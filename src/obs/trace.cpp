@@ -1,0 +1,103 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace remspan::obs {
+
+namespace {
+
+/// Trace timestamps forward through the bench-report double formatter so a
+/// deterministic ts (sim rounds) serializes identically run-to-run, but
+/// without the ".0" suffix rule — Chrome's ts is just a number.
+std::string ts_to_string(double ts) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << ts;
+  return os.str();
+}
+
+void append_event_json(std::string& out, const TraceEvent& e) {
+  out += "{\"name\": " + json_quote(e.name);
+  out += ", \"cat\": " + json_quote(e.cat.empty() ? std::string("remspan") : e.cat);
+  out += ", \"ph\": " + json_quote(std::string(1, e.ph));
+  out += ", \"ts\": " + ts_to_string(e.ts);
+  out += ", \"pid\": " + std::to_string(e.pid);
+  out += ", \"tid\": " + std::to_string(e.tid);
+  if (!e.args.empty()) {
+    out += ", \"args\": {";
+    bool first = true;
+    for (const auto& [key, value] : e.args) {
+      if (!first) out += ", ";
+      first = false;
+      out += json_quote(key) + ": " + json_scalar_to_string(value);
+    }
+    out += '}';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(capacity_ < 4096 ? capacity_ : 4096);
+}
+
+void TraceBuffer::emit(TraceEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::size_t TraceBuffer::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+void TraceBuffer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceBuffer::to_json() const {
+  const std::vector<TraceEvent> copy = events();
+  const std::uint64_t lost = dropped();
+  std::string out = "{\"traceEvents\": [\n";
+  bool first = true;
+  for (const TraceEvent& e : copy) {
+    if (!first) out += ",\n";
+    first = false;
+    append_event_json(out, e);
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"";
+  out += ", \"remspan_dropped_events\": " + std::to_string(lost);
+  out += "}\n";
+  return out;
+}
+
+bool TraceBuffer::write_file(const std::string& path, std::string* error) const {
+  std::ofstream out(path);
+  out << to_json();
+  if (!out.good()) {
+    if (error != nullptr) *error = "cannot write trace file: " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace remspan::obs

@@ -1,0 +1,87 @@
+// The structured trace layer: a ring-buffered stream of phase spans,
+// instant events and counter samples, serialized as Chrome trace_event
+// JSON (load in Perfetto or chrome://tracing; schema in
+// docs/OBSERVABILITY.md).
+//
+// Two kinds of lanes share one buffer, split by pid:
+//   pid 1 (engine)    — tid is a small per-thread lane id, ts is wall-clock
+//                       microseconds since the process epoch;
+//   pid 2 (simulator) — tid is the NodeId (or 0 for network-wide rows), ts
+//                       is the deterministic round number scaled to
+//                       kRoundMicros. Simulator events carry no wall-clock
+//                       field at all, so sim-only traces of bit-identical
+//                       runs are byte-identical and golden-diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json_report.hpp"
+
+namespace remspan::obs {
+
+/// Chrome trace_event phases used by this repo.
+inline constexpr char kPhaseBegin = 'B';    ///< span open (paired with 'E')
+inline constexpr char kPhaseEnd = 'E';      ///< span close
+inline constexpr char kPhaseInstant = 'i';  ///< point event
+inline constexpr char kPhaseCounter = 'C';  ///< counter sample (args = series)
+inline constexpr char kPhaseMeta = 'M';     ///< metadata (lane names)
+
+/// Process/thread ids of the two lane families (trace.hpp header comment).
+inline constexpr std::uint32_t kEnginePid = 1;
+inline constexpr std::uint32_t kSimPid = 2;
+
+/// One simulator round rendered as this many trace microseconds, so round
+/// granularity is visible when a trace is opened in Perfetto.
+inline constexpr double kRoundMicros = 1000.0;
+
+/// One trace_event record. `args` members become the event's "args" object
+/// (numbers and strings, escaped by the one json_quote routine).
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = kPhaseInstant;
+  double ts = 0.0;  ///< microseconds (wall for engine lanes, rounds for sim)
+  std::uint32_t pid = kEnginePid;
+  std::uint32_t tid = 0;
+  std::vector<std::pair<std::string, JsonScalar>> args;
+
+  [[nodiscard]] bool operator==(const TraceEvent&) const = default;
+};
+
+/// Bounded in-memory event sink. When full, new events are dropped (and
+/// counted) rather than evicting old ones: the head of a trace explains the
+/// tail, and a deterministic prefix is what golden diffs need.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 16;
+
+  explicit TraceBuffer(std::size_t capacity = kDefaultCapacity);
+
+  void emit(TraceEvent event);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear();
+
+  /// The buffered stream as one Chrome trace_event JSON document.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to_json() to `path`; returns false (with *error set) on I/O
+  /// failure instead of throwing — trace emission is best-effort by design.
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace remspan::obs

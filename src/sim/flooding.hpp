@@ -6,6 +6,7 @@
 
 #include <unordered_set>
 
+#include "obs/obs.hpp"
 #include "sim/network.hpp"
 
 namespace remspan {
@@ -31,7 +32,16 @@ class FloodManager {
   /// duplicates return false. Forwarding (ttl - 1) happens automatically
   /// for fresh messages with remaining budget.
   bool accept(NodeContext& ctx, const Message& msg) {
-    if (!mark_seen(msg)) return false;
+    if (!mark_seen(msg)) {
+      if (obs::Registry* m = obs::metrics()) m->counter("sim.flood_dups").add(1);
+      return false;
+    }
+    if (obs::Registry* m = obs::metrics()) {
+      m->counter("sim.flood_accepts").add(1);
+      // Remaining forwarding budget at acceptance; scope minus this value is
+      // the hops travelled, so the histogram is the flood-lifetime profile.
+      m->histogram("sim.flood_ttl_left").record(msg.ttl);
+    }
     if (msg.ttl > 1) {
       Message fwd = msg;
       fwd.ttl = msg.ttl - 1;

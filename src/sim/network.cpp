@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include "obs/obs.hpp"
 #include "sim/link_model.hpp"
 
 namespace remspan {
@@ -67,6 +68,8 @@ void Network::step_round() {
   // one round every node first acts (on_round, send phase), then receives
   // everything due this round. Messages queued while *receiving* (flood
   // forwarding) are sent in the next round's send phase.
+  const bool observing = obs::metrics() != nullptr || obs::trace() != nullptr;
+  const NetworkStats before = observing ? stats_ : NetworkStats{};
   const NodeId n = g_->num_nodes();
   ++stats_.rounds;
   // Send phase.
@@ -108,6 +111,34 @@ void Network::step_round() {
     }
   }
   if (!future_.empty()) cursor_ = (cursor_ + 1) % future_.size();
+  if (observing) publish_round_obs(before);
+}
+
+void Network::publish_round_obs(const NetworkStats& before) const {
+  const NetworkStats d = stats_ - before;
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("sim.rounds").add(1);
+    m->counter("sim.msgs_offered").add(d.transmissions);
+    m->counter("sim.msgs_delivered").add(d.receptions);
+    m->counter("sim.msgs_dropped").add(d.drops);
+    m->counter("sim.msgs_delayed").add(d.delayed);
+    m->counter("sim.payload_words").add(d.payload_words);
+    m->histogram("sim.round_offered").record(d.transmissions);
+  }
+  if (obs::TraceBuffer* t = obs::trace()) {
+    obs::TraceEvent e;
+    e.name = "sim.round";
+    e.cat = "sim";
+    e.ph = obs::kPhaseCounter;
+    e.ts = static_cast<double>(stats_.rounds) * obs::kRoundMicros;
+    e.pid = obs::kSimPid;
+    e.tid = 0;  // network-wide lane; per-node rows use tid = NodeId
+    e.args = {{"offered", static_cast<std::int64_t>(d.transmissions)},
+              {"delivered", static_cast<std::int64_t>(d.receptions)},
+              {"dropped", static_cast<std::int64_t>(d.drops)},
+              {"delayed", static_cast<std::int64_t>(d.delayed)}};
+    t->emit(std::move(e));
+  }
 }
 
 std::uint32_t Network::run(std::uint32_t max_rounds) {

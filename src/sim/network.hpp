@@ -172,6 +172,10 @@ class Network {
   /// One full round: send phase, then receive phase (matured delayed
   /// copies first, then this round's sends through the link model).
   void step_round();
+  /// Per-round telemetry: counter deltas into the metrics sink and one
+  /// counter-sample trace event on the simulator lane (ts = round number —
+  /// deterministic, no wall clock). Called only when a sink is installed.
+  void publish_round_obs(const NetworkStats& before) const;
   void deliver(NodeId to, const Message& msg);
   [[nodiscard]] bool has_pending() const;
   [[nodiscard]] bool all_done() const;

@@ -5,8 +5,8 @@
 #include <utility>
 
 #include "dynamic/incremental_spanner.hpp"
+#include "obs/obs.hpp"
 #include "sim/flooding.hpp"
-#include "util/timer.hpp"
 
 namespace remspan {
 
@@ -124,6 +124,7 @@ class ReconvergeProtocol final : public Protocol {
           std::min(retransmit_interval_ * 2, std::max<std::uint32_t>(1, rel_.backoff_cap));
       next_retransmit_ = round_ + retransmit_interval_ +
                          emission_jitter(self_, ++resend_count_, rel_.retransmit_jitter);
+      record_retransmit_obs(self_, round_, retransmit_interval_);
     }
   }
 
@@ -382,7 +383,7 @@ ReconvergenceSim::ReconvergenceSim(const Graph& initial, const RemSpanConfig& co
       dynamic_(initial),
       graph_(dynamic_.snapshot()),
       dirty_bfs_(initial.num_nodes()) {
-  Timer timer;
+  obs::PhaseSpan span("sim.initial_convergence", "sim");
   const ReliabilityConfig& rel = rel_;
   net_ = std::make_unique<Network>(*graph_, [&config, &rel](NodeId v) {
     return std::make_unique<ReconvergeProtocol>(config, v, rel);
@@ -405,7 +406,7 @@ ReconvergenceSim::ReconvergenceSim(const Graph& initial, const RemSpanConfig& co
   initial_.drops = s.drops;
   initial_.delayed = s.delayed;
   initial_.spanner_edges = spanner().size();
-  initial_.seconds = timer.seconds();
+  initial_.seconds = span.seconds();
 }
 
 std::uint32_t ReconvergenceSim::run_epoch() {
@@ -442,7 +443,7 @@ bool ReconvergenceSim::ball_state_complete() {
 ReconvergenceSim::~ReconvergenceSim() = default;
 
 ReconvergeBatchStats ReconvergenceSim::apply_batch(std::span<const GraphEvent> events) {
-  Timer timer;
+  obs::PhaseSpan span("sim.reconverge_batch", "sim");
   ReconvergeBatchStats stats;
   stats.batch = ++epoch_;
   stats.applied_events = dynamic_.apply_all(events);
@@ -455,7 +456,7 @@ ReconvergeBatchStats ReconvergenceSim::apply_batch(std::span<const GraphEvent> e
   if (delta.empty()) {
     // No live-topology change: nobody re-advertises, nothing flows.
     stats.spanner_edges = spanner().size();
-    stats.seconds = timer.seconds();
+    stats.seconds = span.seconds();
     return stats;
   }
   stats.removed_edges = delta.removed.size();
@@ -493,7 +494,7 @@ ReconvergeBatchStats ReconvergenceSim::apply_batch(std::span<const GraphEvent> e
   stats.drops = delta_stats.drops;
   stats.delayed = delta_stats.delayed;
   stats.spanner_edges = spanner().size();
-  stats.seconds = timer.seconds();
+  stats.seconds = span.seconds();
   return stats;
 }
 

@@ -5,8 +5,27 @@
 
 #include "baseline/mpr.hpp"
 #include "graph/bfs.hpp"
+#include "obs/obs.hpp"
 
 namespace remspan {
+
+void record_retransmit_obs(NodeId self, std::uint32_t round, std::uint32_t interval) {
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("sim.retransmissions").add(1);
+    m->histogram("sim.backoff_interval").record(interval);
+  }
+  if (obs::TraceBuffer* t = obs::trace()) {
+    obs::TraceEvent e;
+    e.name = "sim.retransmit";
+    e.cat = "sim";
+    e.ph = obs::kPhaseInstant;
+    e.ts = static_cast<double>(round) * obs::kRoundMicros;
+    e.pid = obs::kSimPid;
+    e.tid = self;
+    e.args = {{"interval", static_cast<std::int64_t>(interval)}};
+    t->emit(std::move(e));
+  }
+}
 
 Dist RemSpanConfig::flood_scope() const {
   switch (kind) {
@@ -211,6 +230,7 @@ void RemSpanProtocol::on_round(NodeContext& ctx) {
         std::min(retransmit_interval_ * 2, std::max<std::uint32_t>(1, rel_.backoff_cap));
     next_retransmit_ = local_round_ + retransmit_interval_ +
                        emission_jitter(ctx.id(), ++resend_count_, rel_.retransmit_jitter);
+    record_retransmit_obs(ctx.id(), local_round_, retransmit_interval_);
   }
 }
 

@@ -101,6 +101,14 @@ struct RemSpanConfig {
     const RemSpanConfig& config, NodeId self, const std::vector<NodeId>& neighbors,
     const std::map<NodeId, std::vector<NodeId>>& lists);
 
+/// Telemetry hook for the ack-less retransmission machinery, shared by
+/// RemSpanProtocol and the reconvergence epoch protocol: bumps the
+/// sim.retransmissions counter, records the freshly scheduled backoff
+/// interval (backoff state occupancy), and drops an instant trace event on
+/// the node's simulator lane (ts = round number — deterministic, no wall
+/// clock). Costs one branch per sink when nothing is installed.
+void record_retransmit_obs(NodeId self, std::uint32_t round, std::uint32_t interval);
+
 class RemSpanProtocol : public Protocol {
  public:
   /// With reliability disabled (the default) the node runs the paper's

@@ -5,8 +5,9 @@
 
 namespace remspan {
 
-void AtomicBitset::or_batch(std::vector<std::uint32_t>& bits) {
+std::size_t AtomicBitset::or_batch(std::vector<std::uint32_t>& bits) {
   std::sort(bits.begin(), bits.end());
+  std::size_t words_ord = 0;
   for (std::size_t i = 0; i < bits.size();) {
     const std::size_t w = bits[i] >> 6;
     std::uint64_t mask = 0;
@@ -14,7 +15,9 @@ void AtomicBitset::or_batch(std::vector<std::uint32_t>& bits) {
       mask |= std::uint64_t{1} << (bits[i] & 63);
     }
     or_word(w, mask);
+    ++words_ord;
   }
+  return words_ord;
 }
 
 void AtomicBitset::clear_batch(std::vector<std::uint32_t>& bits) {

@@ -127,8 +127,9 @@ class AtomicBitset {
   /// ORs a batch of bit indices (one logical unit, e.g. one tree's edge
   /// ids): `bits` is sorted in place — sorted indices group by word — and
   /// same-word bits merge into one plain mask, so each touched word costs
-  /// exactly one relaxed RMW.
-  void or_batch(std::vector<std::uint32_t>& bits);
+  /// exactly one relaxed RMW. Returns the number of words actually or'd
+  /// (the RMW count — callers report it as union cost, see src/obs).
+  std::size_t or_batch(std::vector<std::uint32_t>& bits);
 
   /// Clears a batch of bit indices with the same word-level discipline as
   /// or_batch: one relaxed fetch_and per touched word. The retire mirror of

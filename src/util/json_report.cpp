@@ -242,6 +242,13 @@ class Parser {
 
 }  // namespace
 
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_escaped(out, s);
+  return out;
+}
+
 std::string json_scalar_to_string(const JsonScalar& v) {
   if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
   if (const auto* d = std::get_if<double>(&v)) return double_to_string(*d);

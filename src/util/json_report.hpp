@@ -31,6 +31,12 @@ using JsonScalar = std::variant<std::int64_t, double, std::string>;
 /// doubles use max_digits10 so parse_report round-trips them exactly).
 [[nodiscard]] std::string json_scalar_to_string(const JsonScalar& v);
 
+/// Quotes `s` as a JSON string token: wraps in '"' and escapes '"', '\\'
+/// and all control characters (named escapes for \n \t \r, \u00XX
+/// otherwise). The one escaping routine every JSON writer in the repo
+/// (bench reports, metric snapshots, trace events) goes through.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}

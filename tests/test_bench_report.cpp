@@ -57,6 +57,35 @@ TEST(BenchReport, RoundTripsAwkwardDoublesAndStrings) {
   EXPECT_EQ(parsed, report);
 }
 
+TEST(BenchReport, JsonQuoteEscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(json_quote("\n\t\r"), "\"\\n\\t\\r\"");
+  // Control characters without a short escape take the \u00XX form.
+  EXPECT_EQ(json_quote(std::string("\x01", 1)), "\"\\u0001\"");
+  EXPECT_EQ(json_quote(std::string("\b\f", 2)), "\"\\u0008\\u000c\"");
+  EXPECT_EQ(json_quote(std::string("\x1f", 1)), "\"\\u001f\"");
+  // Embedded NUL survives as \u0000, not as a truncation point.
+  EXPECT_EQ(json_quote(std::string("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(BenchReport, RoundTripsHostileKeysAndValues) {
+  // Keys are strings too: escaping must cover them, not just values. The
+  // payload mixes quotes, backslashes, braces (parser confusers) and raw
+  // control bytes in both positions.
+  BenchReport report("hostile \"bench\" \\ name \x01");
+  report.set_seed(7);
+  report.param(std::string("key \"q\" \\ {brace} \n"), std::int64_t{1});
+  report.param(std::string("ctl\x01\x1f\bkey"), std::string("ctl\x02\x7f\fvalue"));
+  report.value(std::string("v\b\f\r\t"), std::string("bell\x07, unit sep \x1f, del \x7f"));
+  report.value(std::string("closer}\":,"), -3.5);
+  const BenchReport parsed = parse_report(report.to_json());
+  EXPECT_EQ(parsed, report);
+  // Fixed point: serializing the parse yields identical bytes.
+  EXPECT_EQ(parsed.to_json(), report.to_json());
+}
+
 TEST(BenchReport, OverwritingAKeyKeepsPosition) {
   BenchReport report("r");
   report.param("n", std::int64_t{10});

@@ -44,7 +44,7 @@ LintRun run_on_fixture(const std::string& fixture) {
 TEST(LintTool, ListRulesNamesEveryRule) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
-  for (const char* id : {"R0", "R1", "R2", "R3", "R4", "R5", "R6"}) {
+  for (const char* id : {"R0", "R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
     EXPECT_NE(run.output.find(id), std::string::npos) << "missing " << id << " in:\n"
                                                       << run.output;
   }
@@ -91,7 +91,8 @@ INSTANTIATE_TEST_SUITE_P(
         FixtureCase{"r3_exit.cpp", "[R3 no-exit]"},
         FixtureCase{"r4_assert.cpp", "[R4 no-assert]"},
         FixtureCase{"r5_random_device.cpp", "[R5 determinism]"},
-        FixtureCase{"r6_unordered_iteration.cpp", "[R6 unordered-iteration-annotation]"}),
+        FixtureCase{"r6_unordered_iteration.cpp", "[R6 unordered-iteration-annotation]"},
+        FixtureCase{"r7_raw_clock.cpp", "[R7 wall-clock-discipline]"}),
     [](const ::testing::TestParamInfo<FixtureCase>& info) {
       std::string name = info.param.fixture;
       return name.substr(0, name.find('.'));

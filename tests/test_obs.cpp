@@ -1,0 +1,290 @@
+// The observability subsystem (src/obs): instrument semantics, snapshot
+// algebra (diff/merge), serialization, the trace ring buffer, the sink hub,
+// and — the part TSan is pointed at — one registry hammered from every
+// thread-pool worker with exact conservation: counters sum exactly,
+// histogram totals (count, sum, per-bucket) are conserved.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/json_report.hpp"
+#include "util/prelude.hpp"
+#include "util/thread_pool.hpp"
+
+namespace remspan {
+namespace {
+
+// --- instruments ---------------------------------------------------------
+
+TEST(ObsMetrics, CounterAndGaugeBasics) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("c");
+  EXPECT_EQ(&c, &reg.counter("c"));  // find-or-create: stable address
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+
+  obs::Gauge& g = reg.gauge("g");
+  g.set(-7);
+  g.add(10);
+  EXPECT_EQ(g.value(), 3);
+}
+
+TEST(ObsMetrics, HistogramBucketGeometry) {
+  // bucket_index is bit_width: bucket 0 holds exactly 0, bucket i >= 1
+  // holds [2^(i-1), 2^i).
+  EXPECT_EQ(obs::Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_index(~std::uint64_t{0}), 64u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(1), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_floor(3), 4u);
+
+  obs::Registry reg;
+  obs::Histogram& h = reg.histogram("h");
+  for (const std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 1000ull}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1006u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(obs::Histogram::bucket_index(1000)), 1u);
+}
+
+TEST(ObsMetrics, RegistryResetZeroesButKeepsAddresses) {
+  obs::Registry reg;
+  obs::Counter& c = reg.counter("c");
+  obs::Histogram& h = reg.histogram("h");
+  c.add(5);
+  h.record(9);
+  reg.reset();
+  EXPECT_EQ(&c, &reg.counter("c"));
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// --- snapshot algebra ----------------------------------------------------
+
+TEST(ObsMetrics, SnapshotDiffIsComponentwise) {
+  obs::Registry reg;
+  reg.counter("a").add(10);
+  reg.gauge("q").set(4);
+  reg.histogram("h").record(3);
+  const obs::Snapshot before = reg.snapshot();
+  reg.counter("a").add(5);
+  reg.counter("b").add(1);  // key absent from `before` counts as zero
+  reg.gauge("q").set(-2);
+  reg.histogram("h").record(3);
+  reg.histogram("h").record(100);
+  const obs::Snapshot d = reg.snapshot().diff(before);
+  EXPECT_EQ(d.counters.at("a"), 5u);
+  EXPECT_EQ(d.counters.at("b"), 1u);
+  EXPECT_EQ(d.gauges.at("q"), -6);
+  EXPECT_EQ(d.histograms.at("h").count, 2u);
+  EXPECT_EQ(d.histograms.at("h").sum, 103u);
+  EXPECT_EQ(d.histograms.at("h").buckets[obs::Histogram::bucket_index(3)], 1u);
+  EXPECT_EQ(d.histograms.at("h").buckets[obs::Histogram::bucket_index(100)], 1u);
+}
+
+TEST(ObsMetrics, DiffRejectsNonMonotoneCounters) {
+  obs::Snapshot earlier;
+  earlier.counters["a"] = 10;
+  obs::Snapshot later;
+  later.counters["a"] = 3;  // went backwards: not the same run
+  EXPECT_THROW((void)later.diff(earlier), CheckError);
+}
+
+TEST(ObsMetrics, MergeSumsUnionOfKeys) {
+  obs::Registry r1;
+  r1.counter("a").add(2);
+  r1.histogram("h").record(1);
+  obs::Registry r2;
+  r2.counter("a").add(3);
+  r2.counter("b").add(7);
+  r2.histogram("h").record(1);
+  obs::Snapshot s = r1.snapshot();
+  s.merge(r2.snapshot());
+  EXPECT_EQ(s.counters.at("a"), 5u);
+  EXPECT_EQ(s.counters.at("b"), 7u);
+  EXPECT_EQ(s.histograms.at("h").count, 2u);
+  EXPECT_EQ(s.histograms.at("h").sum, 2u);
+  EXPECT_EQ(s.histograms.at("h").buckets[1], 2u);
+}
+
+TEST(ObsMetrics, ToJsonIsDeterministicAndLabelsBucketsByFloor) {
+  obs::Registry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.histogram("h").record(5);  // bucket 3, floor 4
+  const std::string json = reg.snapshot().to_json();
+  // Sorted keys: byte-identical JSON for bit-identical runs.
+  EXPECT_LT(json.find("\"a.first\""), json.find("\"z.last\""));
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"4\": 1"), std::string::npos) << json;
+  EXPECT_EQ(json, reg.snapshot().to_json());
+}
+
+TEST(ObsMetrics, AppendToFlattensIntoBenchReport) {
+  obs::Registry reg;
+  reg.counter("c").add(9);
+  reg.gauge("g").set(-1);
+  reg.histogram("h").record(4);
+  reg.histogram("h").record(4);
+  BenchReport report("obs");
+  reg.snapshot().append_to(report, "obs.");
+  const auto& values = report.values();
+  auto find = [&](const std::string& key) -> const JsonScalar* {
+    for (const auto& [k, v] : values) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("obs.c"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*find("obs.c")), 9);
+  ASSERT_NE(find("obs.g"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*find("obs.g")), -1);
+  ASSERT_NE(find("obs.h_count"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*find("obs.h_count")), 2);
+  ASSERT_NE(find("obs.h_sum"), nullptr);
+  EXPECT_EQ(std::get<std::int64_t>(*find("obs.h_sum")), 8);
+}
+
+// --- trace ring buffer ---------------------------------------------------
+
+obs::TraceEvent instant_event(std::string name) {
+  obs::TraceEvent e;
+  e.name = std::move(name);
+  e.cat = "test";
+  e.ph = obs::kPhaseInstant;
+  return e;
+}
+
+TEST(ObsTrace, RingKeepsPrefixDropsNewestAndCounts) {
+  obs::TraceBuffer buf(3);
+  for (int i = 0; i < 5; ++i) buf.emit(instant_event("e" + std::to_string(i)));
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  const std::vector<obs::TraceEvent> events = buf.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Drop-newest: the deterministic prefix e0..e2 survives, not the tail.
+  EXPECT_EQ(events[0].name, "e0");
+  EXPECT_EQ(events[2].name, "e2");
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.dropped(), 0u);
+}
+
+TEST(ObsTrace, ToJsonIsChromeTraceShapedAndEscaped) {
+  obs::TraceBuffer buf;
+  obs::TraceEvent e = instant_event("weird \"name\"\n");
+  e.args = {{"k", JsonScalar(std::int64_t{7})}, {"s", JsonScalar(std::string("v\\"))}};
+  buf.emit(std::move(e));
+  const std::string json = buf.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("weird \\\"name\\\"\\n"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"k\": 7"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"remspan_dropped_events\": 0"), std::string::npos) << json;
+}
+
+// --- sink hub and spans --------------------------------------------------
+
+TEST(ObsSinks, DisabledByDefaultAndSpansStillTime) {
+  ASSERT_EQ(obs::metrics(), nullptr);
+  ASSERT_EQ(obs::trace(), nullptr);
+  obs::PhaseSpan span("obs.test.disabled", "test");
+  EXPECT_GE(span.seconds(), 0.0);  // plain stopwatch without sinks
+}
+
+TEST(ObsSinks, ScopedInstallExposesAndRestores) {
+  obs::Registry reg;
+  obs::TraceBuffer buf;
+  {
+    const obs::ScopedSinks sinks(&reg, &buf);
+    ASSERT_EQ(obs::metrics(), &reg);
+    ASSERT_EQ(obs::trace(), &buf);
+    obs::metrics()->counter("seen").add(1);
+  }
+  EXPECT_EQ(obs::metrics(), nullptr);
+  EXPECT_EQ(obs::trace(), nullptr);
+  EXPECT_EQ(reg.snapshot().counters.at("seen"), 1u);
+}
+
+TEST(ObsSinks, PhaseSpansEmitBalancedBeginEnd) {
+  obs::Registry reg;
+  obs::TraceBuffer buf;
+  {
+    const obs::ScopedSinks sinks(&reg, &buf);
+    obs::PhaseSpan outer("obs.test.outer", "test");
+    { obs::PhaseSpan inner("obs.test.inner", "test"); }
+    obs::instant("obs.test.marker", "test");
+  }
+  std::size_t begins = 0;
+  std::size_t ends = 0;
+  std::size_t instants = 0;
+  for (const obs::TraceEvent& e : buf.events()) {
+    if (e.ph == obs::kPhaseBegin) ++begins;
+    if (e.ph == obs::kPhaseEnd) ++ends;
+    if (e.ph == obs::kPhaseInstant) ++instants;
+    EXPECT_EQ(e.pid, obs::kEnginePid);
+  }
+  EXPECT_EQ(begins, 2u);
+  EXPECT_EQ(ends, 2u);
+  EXPECT_EQ(instants, 1u);
+}
+
+// --- concurrency: exact conservation under the thread pool (TSan) --------
+
+TEST(ObsThreads, CountersSumExactlyAcrossWorkers) {
+  obs::Registry reg;
+  const obs::ScopedSinks sinks(&reg, nullptr);
+  constexpr std::size_t kItems = 200000;
+  ThreadPool::global().parallel_for_workers(0, kItems, [&](std::size_t i, std::size_t) {
+    // Registration (mutex) and cell update (relaxed atomic) both hammered
+    // from every worker on the SAME names — the contended path TSan vets.
+    obs::metrics()->counter("hammer.count").add(1);
+    obs::metrics()->counter("hammer.weighted").add(i % 7);
+  });
+  const obs::Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counters.at("hammer.count"), kItems);
+  std::uint64_t expected = 0;
+  for (std::size_t i = 0; i < kItems; ++i) expected += i % 7;
+  EXPECT_EQ(s.counters.at("hammer.weighted"), expected);
+}
+
+TEST(ObsThreads, HistogramTotalsConserved) {
+  obs::Registry reg;
+  const obs::ScopedSinks sinks(&reg, nullptr);
+  constexpr std::size_t kItems = 100000;
+  ThreadPool::global().parallel_for_workers(0, kItems, [&](std::size_t i, std::size_t) {
+    obs::metrics()->histogram("hammer.h").record(i % 1000);
+  });
+  const obs::HistogramSnapshot h = reg.snapshot().histograms.at("hammer.h");
+  EXPECT_EQ(h.count, kItems);
+  std::uint64_t expected_sum = 0;
+  std::array<std::uint64_t, obs::Histogram::kBuckets> expected_buckets{};
+  for (std::size_t i = 0; i < kItems; ++i) {
+    expected_sum += i % 1000;
+    ++expected_buckets[obs::Histogram::bucket_index(i % 1000)];
+  }
+  EXPECT_EQ(h.sum, expected_sum);
+  EXPECT_EQ(h.buckets, expected_buckets);
+  // Cross-check conservation: bucket counts sum to the total count.
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : h.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, h.count);
+}
+
+}  // namespace
+}  // namespace remspan

@@ -1,0 +1,62 @@
+#!/bin/sh
+# End-to-end gate for the observability surface of remspan_tool:
+#
+#   1. Bit-exactness: the same static build run twice — once bare, once with
+#      --trace-out/--metrics-out — must emit byte-identical DOT output.
+#      Observation must never perturb results (docs/OBSERVABILITY.md).
+#   2. Artifact validity: the trace file must be well-formed Chrome
+#      trace_event JSON with balanced spans, and the metrics file a
+#      well-formed snapshot — both per tools/trace_check.cpp.
+#   3. The simulator path: a --reconverge run under loss must produce a
+#      valid trace too (round-numbered sim lanes, retransmission events).
+#
+# Usage: check_trace_roundtrip.sh <remspan_tool> <trace_check> <workdir>
+# Exit 0 when every gate passes, 1 on a failed gate, 2 on usage errors.
+set -u
+
+tool="${1:-}"
+checker="${2:-}"
+workdir="${3:-}"
+if [ -z "$tool" ] || [ ! -x "$tool" ] || [ -z "$checker" ] || [ ! -x "$checker" ] ||
+   [ -z "$workdir" ]; then
+  echo "usage: $0 <remspan_tool> <trace_check> <workdir>" >&2
+  exit 2
+fi
+mkdir -p "$workdir" || exit 2
+
+gen="--gen udg --n 200 --side 5.0 --seed 7"
+
+run() {
+  # Tool stdout is progress reporting, not part of the gate; keep it out of
+  # the ctest log unless a step fails.
+  if ! "$@" >"$workdir/last_run.log" 2>&1; then
+    echo "check_trace_roundtrip: command failed: $*" >&2
+    cat "$workdir/last_run.log" >&2
+    return 1
+  fi
+}
+
+# --- 1 + 2: static build, bare vs observed, byte-compared via DOT ---------
+run "$tool" $gen --construction th2 --k 2 --dot "$workdir/plain.dot" || exit 1
+run "$tool" $gen --construction th2 --k 2 --dot "$workdir/traced.dot" \
+    --trace-out "$workdir/build_trace.json" \
+    --metrics-out "$workdir/build_metrics.json" || exit 1
+if ! cmp -s "$workdir/plain.dot" "$workdir/traced.dot"; then
+  echo "check_trace_roundtrip: DOT output differs between bare and observed runs" >&2
+  exit 1
+fi
+"$checker" "$workdir/build_trace.json" || exit 1
+"$checker" --metrics "$workdir/build_metrics.json" || exit 1
+
+# --- 3: reconvergence under loss, traced and validated --------------------
+run "$tool" $gen --emit-churn-trace "$workdir/churn.txt" \
+    --trace-batches 5 --trace-events 6 || exit 1
+run "$tool" $gen --construction th2 --k 2 --reconverge \
+    --churn-trace "$workdir/churn.txt" --loss 0.15 \
+    --trace-out "$workdir/sim_trace.json" \
+    --metrics-out "$workdir/sim_metrics.json" || exit 1
+"$checker" "$workdir/sim_trace.json" || exit 1
+"$checker" --metrics "$workdir/sim_metrics.json" || exit 1
+
+echo "check_trace_roundtrip: OK (bit-exact observed run, all artifacts valid)"
+exit 0

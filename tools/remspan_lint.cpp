@@ -71,6 +71,11 @@ constexpr RuleInfo kRules[] = {
      "(src/{core,graph,dynamic,baseline,sim}) requires an inline "
      "'remspan-lint: allow(R6)' justification stating why iteration order "
      "cannot leak into output"},
+    {"R7", "wall-clock-discipline",
+     "raw std::chrono clock reads (steady_clock/system_clock/"
+     "high_resolution_clock ::now) are banned outside util/timer.hpp and "
+     "src/obs: wall time flows through Timer / obs::PhaseSpan, keeping it "
+     "out of every deterministic stream"},
 };
 
 // ---------------------------------------------------------------------------
@@ -340,6 +345,7 @@ class FileLinter {
         break;
       }
     }
+    if (path_ != "src/util/timer.hpp" && !starts_with(path_, "src/obs/")) check_r7();
   }
 
  private:
@@ -605,6 +611,23 @@ class FileLinter {
                  "' via ." + toks_[i + 2].text +
                  "() — hash-table order is implementation-defined; sort first, or annotate "
                  "'remspan-lint: allow(R6) <why order cannot leak>'");
+      }
+    }
+  }
+
+  // --- R7: wall-clock reads only behind Timer / the obs layer ---
+
+  void check_r7() {
+    static const std::set<std::string> clocks = {"steady_clock", "system_clock",
+                                                 "high_resolution_clock"};
+    for (std::size_t i = 0; i < toks_.size(); ++i) {
+      if (toks_[i].kind != Tok::kIdent || clocks.count(toks_[i].text) == 0) continue;
+      if (is_punct(i + 1, "::") && is_ident(i + 2, "now") && is_punct(i + 3, "(")) {
+        flag("R7", toks_[i].line,
+             "raw '" + toks_[i].text +
+                 "::now()' — wall-clock reads go through Timer or obs::PhaseSpan so "
+                 "measured time stays separated from every deterministic stream; or "
+                 "annotate 'remspan-lint: allow(R7) <why this read is safe>'");
       }
     }
   }

@@ -1,0 +1,447 @@
+// trace_check: structural validator for the observability artifacts that
+// remspan_tool writes (--trace-out / --metrics-out) and that CI archives.
+//
+// Two modes:
+//
+//   trace_check <trace.json>             validate a Chrome trace_event file
+//   trace_check --metrics <metrics.json> validate a metrics snapshot
+//
+// Trace mode checks that the file is well-formed JSON, that traceEvents is
+// an array of objects each carrying the required keys (name, ph, ts, pid,
+// tid), that every phase is one the emitter produces (B/E/i/C/M), and that
+// B/E spans are balanced per (pid, tid) lane with matching names. Metrics
+// mode checks the counters/gauges/histograms envelope and that every
+// histogram's bucket tallies sum exactly to its count.
+//
+// Exit codes: 0 valid, 1 invalid (findings on stdout), 2 usage/IO error.
+//
+// Like remspan_lint, this tool is deliberately dependency-free — it builds
+// with nothing but a C++20 compiler, so the CI step that runs it needs no
+// project library. The JSON parser below is a strict recursive-descent
+// reader of the full grammar; it exists because the project's BenchReport
+// parser accepts only the flat report subset, which trace files are not.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON document model. Object members keep file order so findings
+// can reference positions meaningfully.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+  std::vector<JsonValue> items;                            // kArray
+
+  [[nodiscard]] const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after top-level value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("byte " + std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      std::string key = parse_string();
+      expect(':');
+      v.members.emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value());
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control byte inside string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += decode_unicode_escape(); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  char decode_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4u;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        fail("bad hex digit in \\u escape");
+      }
+    }
+    // The emitters only produce \u00XX for control bytes; anything wider is
+    // legal JSON but substituted, since validation never inspects it.
+    return code < 0x80 ? static_cast<char>(code) : '?';
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+      return pos_ > before;
+    };
+    if (!digits()) fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) fail("bad number: missing fraction digits");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (!digits()) fail("bad number: missing exponent digits");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      // remspan-lint: allow(R2) the grammar above already rejected every
+      // garbage suffix strnum guards against, and this tool is
+      // dependency-free by design — it cannot link util/strnum.
+      v.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      fail("number out of range");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Validation. Findings accumulate so one run reports everything wrong.
+class Checker {
+ public:
+  void flag(const std::string& where, const std::string& what) {
+    std::printf("%s: %s\n", where.c_str(), what.c_str());
+    ++violations_;
+  }
+
+  [[nodiscard]] int violations() const { return violations_; }
+
+ private:
+  int violations_ = 0;
+};
+
+bool is_string(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString;
+}
+bool is_number(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber;
+}
+bool is_object(const JsonValue* v) {
+  return v != nullptr && v->kind == JsonValue::Kind::kObject;
+}
+
+void check_trace(const JsonValue& root, Checker& check) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    check.flag("trace", "top-level value is not an object");
+    return;
+  }
+  const JsonValue* events = root.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    check.flag("trace", "missing traceEvents array");
+    return;
+  }
+  const JsonValue* unit = root.find("displayTimeUnit");
+  if (!is_string(unit)) check.flag("trace", "missing displayTimeUnit string");
+
+  // Per-lane span stacks: every E must close the most recent B with the
+  // same name on the same (pid, tid) lane, and every lane must drain.
+  std::map<std::pair<double, double>, std::vector<std::string>> lanes;
+  const std::string phases = "BEiCM";
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& e = events->items[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (e.kind != JsonValue::Kind::kObject) {
+      check.flag(where, "event is not an object");
+      continue;
+    }
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (!is_string(name)) check.flag(where, "missing string key: name");
+    if (!is_number(ts)) check.flag(where, "missing numeric key: ts");
+    if (!is_number(pid)) check.flag(where, "missing numeric key: pid");
+    if (!is_number(tid)) check.flag(where, "missing numeric key: tid");
+    if (!is_string(ph) || ph->string.size() != 1 ||
+        phases.find(ph->string[0]) == std::string::npos) {
+      check.flag(where, "ph is not one of B/E/i/C/M");
+      continue;
+    }
+    if (!is_string(name) || !is_number(pid) || !is_number(tid)) continue;
+    auto& stack = lanes[{pid->number, tid->number}];
+    if (ph->string[0] == 'B') {
+      stack.push_back(name->string);
+    } else if (ph->string[0] == 'E') {
+      if (stack.empty()) {
+        check.flag(where, "E event with no open span on its lane");
+      } else {
+        if (stack.back() != name->string) {
+          check.flag(where, "E event closes \"" + stack.back() + "\" under the name \"" +
+                                name->string + "\"");
+        }
+        stack.pop_back();
+      }
+    }
+  }
+  for (const auto& [lane, stack] : lanes) {
+    if (stack.empty()) continue;
+    check.flag("trace", "lane pid=" + std::to_string(lane.first) +
+                            " tid=" + std::to_string(lane.second) + " ends with " +
+                            std::to_string(stack.size()) + " unclosed span(s), first \"" +
+                            stack.front() + "\"");
+  }
+}
+
+void check_metric_map(const JsonValue* map, const std::string& what, Checker& check) {
+  if (!is_object(map)) {
+    check.flag("metrics", "missing " + what + " object");
+    return;
+  }
+  for (const auto& [name, value] : map->members) {
+    if (value.kind != JsonValue::Kind::kNumber) {
+      check.flag("metrics." + what + "." + name, "value is not a number");
+    }
+  }
+}
+
+void check_metrics(const JsonValue& root, Checker& check) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    check.flag("metrics", "top-level value is not an object");
+    return;
+  }
+  check_metric_map(root.find("counters"), "counters", check);
+  check_metric_map(root.find("gauges"), "gauges", check);
+  const JsonValue* histograms = root.find("histograms");
+  if (!is_object(histograms)) {
+    check.flag("metrics", "missing histograms object");
+    return;
+  }
+  for (const auto& [name, h] : histograms->members) {
+    const std::string where = "metrics.histograms." + name;
+    if (h.kind != JsonValue::Kind::kObject) {
+      check.flag(where, "histogram is not an object");
+      continue;
+    }
+    const JsonValue* count = h.find("count");
+    const JsonValue* sum = h.find("sum");
+    const JsonValue* buckets = h.find("buckets");
+    if (!is_number(count)) check.flag(where, "missing numeric key: count");
+    if (!is_number(sum)) check.flag(where, "missing numeric key: sum");
+    if (!is_object(buckets)) {
+      check.flag(where, "missing buckets object");
+      continue;
+    }
+    double bucket_total = 0.0;
+    for (const auto& [floor, tally] : buckets->members) {
+      if (tally.kind != JsonValue::Kind::kNumber) {
+        check.flag(where + ".buckets." + floor, "tally is not a number");
+        continue;
+      }
+      bucket_total += tally.number;
+    }
+    if (is_number(count) && bucket_total != count->number) {
+      check.flag(where, "bucket tallies sum to " + std::to_string(bucket_total) +
+                            " but count is " + std::to_string(count->number));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool metrics_mode = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metrics_mode = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "usage: trace_check [--metrics] <file.json>\n");
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: trace_check [--metrics] <file.json>\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: trace_check [--metrics] <file.json>\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  Checker check;
+  try {
+    const JsonValue root = JsonParser(text).parse();
+    if (metrics_mode) {
+      check_metrics(root, check);
+    } else {
+      check_trace(root, check);
+    }
+  } catch (const std::exception& e) {
+    check.flag(path, std::string("not well-formed JSON: ") + e.what());
+  }
+  if (check.violations() > 0) {
+    std::printf("trace_check: %s: %d violation(s)\n", path.c_str(), check.violations());
+    return 1;
+  }
+  std::printf("trace_check: %s: OK\n", path.c_str());
+  return 0;
+}
