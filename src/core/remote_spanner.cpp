@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "shard/shard_engine.hpp"
 #include "util/bitset.hpp"
 #include "util/thread_pool.hpp"
 
@@ -98,33 +99,45 @@ EdgeSet union_of_trees(const Graph& g,
 }  // namespace
 
 EdgeSet build_remote_spanner(const Graph& g, Dist r, Dist beta, TreeAlgorithm algo,
-                             SpannerBuildInfo* info) {
+                             SpannerBuildInfo* info, const ShardConfig& shards) {
   REMSPAN_CHECK(r >= 2);
   if (algo == TreeAlgorithm::kMis) {
     REMSPAN_CHECK(beta == 1);  // Algorithm 2 computes (r,1)-dominating trees
-    return union_of_trees(
-        g, [r](DomTreeBuilder& b, NodeId u) { return b.mis(u, r); }, info);
+    const auto make_tree = [r](DomTreeBuilder& b, NodeId u) { return b.mis(u, r); };
+    if (shards.sharded()) return sharded_union_of_trees(g, r, make_tree, shards, info);
+    return union_of_trees(g, make_tree, info);
   }
-  return union_of_trees(
-      g, [r, beta](DomTreeBuilder& b, NodeId u) { return b.greedy(u, r, beta); }, info);
+  // The greedy ball: the BFS explores to max(r, r-1+beta), the deepest
+  // shell the candidate ranges reach (dominating_tree.cpp uses the same
+  // bound); the sharded gather must cover exactly that.
+  const Dist ball_depth = std::max<Dist>(r, r - 1 + beta);
+  const auto make_tree = [r, beta](DomTreeBuilder& b, NodeId u) {
+    return b.greedy(u, r, beta);
+  };
+  if (shards.sharded()) return sharded_union_of_trees(g, ball_depth, make_tree, shards, info);
+  return union_of_trees(g, make_tree, info);
 }
 
 EdgeSet build_low_stretch_remote_spanner(const Graph& g, double eps, TreeAlgorithm algo,
-                                         SpannerBuildInfo* info) {
+                                         SpannerBuildInfo* info, const ShardConfig& shards) {
   const Dist r = domination_radius_for_eps(eps);
-  return build_remote_spanner(g, r, 1, algo, info);
+  return build_remote_spanner(g, r, 1, algo, info, shards);
 }
 
-EdgeSet build_k_connecting_spanner(const Graph& g, Dist k, SpannerBuildInfo* info) {
+EdgeSet build_k_connecting_spanner(const Graph& g, Dist k, SpannerBuildInfo* info,
+                                   const ShardConfig& shards) {
   REMSPAN_CHECK(k >= 1);
-  return union_of_trees(
-      g, [k](DomTreeBuilder& b, NodeId u) { return b.greedy_k(u, k); }, info);
+  const auto make_tree = [k](DomTreeBuilder& b, NodeId u) { return b.greedy_k(u, k); };
+  if (shards.sharded()) return sharded_union_of_trees(g, 2, make_tree, shards, info);
+  return union_of_trees(g, make_tree, info);
 }
 
-EdgeSet build_2connecting_spanner(const Graph& g, Dist k, SpannerBuildInfo* info) {
+EdgeSet build_2connecting_spanner(const Graph& g, Dist k, SpannerBuildInfo* info,
+                                  const ShardConfig& shards) {
   REMSPAN_CHECK(k >= 1);
-  return union_of_trees(
-      g, [k](DomTreeBuilder& b, NodeId u) { return b.mis_k(u, k); }, info);
+  const auto make_tree = [k](DomTreeBuilder& b, NodeId u) { return b.mis_k(u, k); };
+  if (shards.sharded()) return sharded_union_of_trees(g, 2, make_tree, shards, info);
+  return union_of_trees(g, make_tree, info);
 }
 
 }  // namespace remspan

@@ -18,6 +18,7 @@
 #include "core/params.hpp"
 #include "graph/edge_set.hpp"
 #include "graph/graph.hpp"
+#include "shard/shard_plan.hpp"
 
 namespace remspan {
 
@@ -36,25 +37,36 @@ struct SpannerBuildInfo {
 
 /// Union of (r, beta)-dominating trees for every root. beta must be 1 when
 /// algo == kMis (Algorithm 2 is specific to beta = 1).
+///
+/// `shards` selects the execution engine (see src/shard): the default
+/// single-shard config runs the flat pooled union below, byte-identical to
+/// builds before sharding existed; num_shards >= 2 runs the sharded
+/// frontier-batched engine, which produces the same spanner bit-for-bit
+/// (test_shard_equivalence.cpp) at a different memory/locality profile.
+/// The same knob rides on every front-end in this header.
 [[nodiscard]] EdgeSet build_remote_spanner(const Graph& g, Dist r, Dist beta,
                                            TreeAlgorithm algo,
-                                           SpannerBuildInfo* info = nullptr);
+                                           SpannerBuildInfo* info = nullptr,
+                                           const ShardConfig& shards = {});
 
 /// Theorem 1 front-end: a (1+eps, 1-2eps)-remote-spanner, 0 < eps <= 1.
 [[nodiscard]] EdgeSet build_low_stretch_remote_spanner(const Graph& g, double eps,
                                                        TreeAlgorithm algo = TreeAlgorithm::kMis,
-                                                       SpannerBuildInfo* info = nullptr);
+                                                       SpannerBuildInfo* info = nullptr,
+                                                       const ShardConfig& shards = {});
 
 /// Theorem 2 front-end: a k-connecting (1,0)-remote-spanner. For k = 1 this
 /// is a (1,0)-remote-spanner, i.e. exact remote distances (the multipoint
 /// relay sub-graph of OLSR).
 [[nodiscard]] EdgeSet build_k_connecting_spanner(const Graph& g, Dist k,
-                                                 SpannerBuildInfo* info = nullptr);
+                                                 SpannerBuildInfo* info = nullptr,
+                                                 const ShardConfig& shards = {});
 
 /// Theorem 3 front-end: union of k-connecting (2,1)-dominating trees. For
 /// k = 2 this is a 2-connecting (2,-1)-remote-spanner with O(n) edges on
 /// doubling unit ball graphs.
 [[nodiscard]] EdgeSet build_2connecting_spanner(const Graph& g, Dist k = 2,
-                                                SpannerBuildInfo* info = nullptr);
+                                                SpannerBuildInfo* info = nullptr,
+                                                const ShardConfig& shards = {});
 
 }  // namespace remspan

@@ -4,6 +4,15 @@
 
 namespace remspan {
 
+namespace detail {
+
+void check_graph_limits(std::size_t nodes, std::size_t edges) {
+  REMSPAN_CHECK(nodes < kInvalidNode);
+  REMSPAN_CHECK(edges < kInvalidEdge);
+}
+
+}  // namespace detail
+
 GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
 
 void GraphBuilder::reserve(std::size_t edges) { edges_.reserve(edges); }
@@ -22,6 +31,7 @@ Graph GraphBuilder::build() const {
 }
 
 Graph Graph::from_canonical_edges(NodeId num_nodes, std::vector<Edge> edges) {
+  detail::check_graph_limits(num_nodes, edges.size());
   Graph g;
   g.edges_ = std::move(edges);
   g.offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);

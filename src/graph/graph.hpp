@@ -31,6 +31,16 @@ struct Edge {
 
 class Graph;
 
+namespace detail {
+/// Overflow guards for graph construction: node and edge counts must fit
+/// the 32-bit NodeId/EdgeId index types, whose max values are reserved as
+/// the kInvalidNode/kInvalidEdge sentinels. At the 10^7-node scale the
+/// sharded engine targets, a count that silently wrapped would corrupt
+/// every downstream id; this throws CheckError up front instead
+/// (test_graph.cpp pins the failure mode).
+void check_graph_limits(std::size_t nodes, std::size_t edges);
+}  // namespace detail
+
 /// Mutable accumulation of edges; build() produces the immutable CSR Graph.
 /// Self-loops are rejected; duplicate edges are merged silently (generators
 /// may naturally produce duplicates).

@@ -1,0 +1,66 @@
+#include "shard/ball_gather.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace remspan {
+
+void BallScout::run(const Graph& g, std::span<const NodeId> sources, Dist max_depth) {
+  for (const NodeId v : order_) dist_[v] = kUnreachable;
+  order_.clear();
+  for (const NodeId src : sources) {
+    REMSPAN_CHECK(src < g.num_nodes());
+    if (dist_[src] != kUnreachable) continue;  // duplicate source
+    dist_[src] = 0;
+    order_.push_back(src);
+  }
+  // order_ doubles as the queue, appended in non-decreasing distance.
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const NodeId u = order_[head];
+    const Dist du = dist_[u];
+    if (du >= max_depth) continue;
+    for (const NodeId v : g.neighbors(u)) {
+      if (dist_[v] == kUnreachable) {
+        dist_[v] = du + 1;
+        order_.push_back(v);
+      }
+    }
+  }
+}
+
+void BallGather::gather(const Graph& g, std::span<const NodeId> members) {
+  for (const NodeId v : members_) local_of_[v] = kInvalidNode;
+  members_.assign(members.begin(), members.end());
+  std::sort(members_.begin(), members_.end());
+  for (NodeId local = 0; local < members_.size(); ++local) {
+    local_of_[members_[local]] = local;
+  }
+
+  // Induced edges in canonical order: outer loop ascends local u, and the
+  // global adjacency rows are sorted, so the (lu, lv) pairs come out
+  // lex-sorted and deduplicated — exactly what from_canonical_edges needs.
+  // The local edge id is the emission index, so pushing the global id at
+  // emission time builds the edge translation for free.
+  std::vector<Edge> edges;
+  // The vector is moved into the local Graph, so its capacity never carries
+  // over between gathers; last batch's edge count is a tight estimate that
+  // skips the realloc ladder.
+  edges.reserve(std::max<std::size_t>(64, global_edges_.size()));
+  global_edges_.clear();
+  for (NodeId lu = 0; lu < members_.size(); ++lu) {
+    const NodeId gu = members_[lu];
+    const auto nbrs = g.neighbors(gu);
+    const auto eids = g.incident_edges(gu);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId gv = nbrs[i];
+      if (gv <= gu) continue;  // canonical direction only
+      const NodeId lv = local_of_[gv];
+      if (lv == kInvalidNode) continue;
+      edges.push_back(Edge{lu, lv});
+      global_edges_.push_back(eids[i]);
+    }
+  }
+  local_ = Graph::from_canonical_edges(static_cast<NodeId>(members_.size()), std::move(edges));
+}
+
+}  // namespace remspan

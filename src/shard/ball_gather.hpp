@@ -1,0 +1,89 @@
+// Frontier-batched ball extraction: one multi-source bounded BFS per batch
+// of roots (BallScout), then one compact induced subgraph of the union ball
+// (BallGather). The sharded engine builds every dominating tree of the
+// batch against that small local CSR instead of chasing pointers through
+// the full graph once per root — the ball-reuse win that makes sharding
+// profitable beyond plain parallelism.
+//
+// Bit-exactness argument (pinned by tests/test_shard_equivalence.cpp):
+// a tree built for root u against the gathered subgraph equals the tree
+// built against the whole graph, node-for-node and edge-for-edge, because
+//   1. the union ball contains B(u, depth) for every batch root u, and a
+//      depth-bounded BFS only ever discovers nodes inside B(u, depth) —
+//      every neighbor scanned from a node at distance < depth lies in the
+//      ball, so the local BFS visits the same nodes, in the same order,
+//      with the same parents (local ids are assigned in ascending global-id
+//      order, an order isomorphism, so every id tie-break is preserved);
+//   2. the tree algorithms consult nodes outside the current BFS ball only
+//      through per-node flags (in_s_, in_x_, nbr_u_, rem_, cov_, branches_)
+//      that are zero for out-of-ball nodes in the whole-graph build too, so
+//      dropping out-of-ball neighbors never changes a cover count, an MIS
+//      membership test, or a pick;
+//   3. every has_edge/find_edge query is between two ball nodes, and the
+//      induced subgraph keeps all edges between members, with local edge
+//      ids mapping back to global EdgeIds through the gather map.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// Lean multi-source bounded BFS that only tracks membership: a distance
+/// array and a touched list, no parents (4 bytes per global node, kept and
+/// reset-touched between batches like BoundedBfs).
+class BallScout {
+ public:
+  explicit BallScout(std::size_t n) : dist_(n, kUnreachable) {}
+
+  /// Expands the union ball of `sources` to depth `max_depth`; afterwards
+  /// touched() holds every member in discovery order.
+  void run(const Graph& g, std::span<const NodeId> sources, Dist max_depth);
+
+  [[nodiscard]] bool in_ball(NodeId v) const noexcept { return dist_[v] != kUnreachable; }
+
+  /// The union-ball members of the last run (discovery order).
+  [[nodiscard]] std::span<const NodeId> touched() const noexcept { return order_; }
+
+ private:
+  std::vector<Dist> dist_;
+  std::vector<NodeId> order_;
+};
+
+/// Builds the induced compact subgraph of a member set: members sorted by
+/// global id become local ids 0..B-1, edges between members survive with
+/// their adjacency order intact, and parallel maps translate local node and
+/// edge ids back to global ones. The n-sized local-id map is reset through
+/// the member list, so repeated gathers cost O(|ball| + |ball edges|).
+class BallGather {
+ public:
+  explicit BallGather(std::size_t n) : local_of_(n, kInvalidNode) {}
+
+  /// Gathers the induced subgraph of `members` (any order, no duplicates).
+  void gather(const Graph& g, std::span<const NodeId> members);
+
+  /// The compact induced subgraph of the last gather.
+  [[nodiscard]] const Graph& local() const noexcept { return local_; }
+
+  /// Members of the last gather in ascending global-id order; index == local id.
+  [[nodiscard]] std::span<const NodeId> members() const noexcept { return members_; }
+
+  /// Local id of a gathered global node (kInvalidNode for non-members).
+  [[nodiscard]] NodeId local_id(NodeId global) const noexcept { return local_of_[global]; }
+
+  [[nodiscard]] NodeId global_id(NodeId local) const { return members_[local]; }
+
+  /// Global EdgeId of a local edge id of local().
+  [[nodiscard]] EdgeId global_edge(EdgeId local) const { return global_edges_[local]; }
+
+ private:
+  std::vector<NodeId> local_of_;
+  std::vector<NodeId> members_;
+  std::vector<EdgeId> global_edges_;
+  Graph local_;
+};
+
+}  // namespace remspan

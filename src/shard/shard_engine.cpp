@@ -1,0 +1,148 @@
+#include "shard/shard_engine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "shard/ball_gather.hpp"
+#include "util/bitset.hpp"
+
+namespace remspan {
+
+namespace {
+
+/// Per-rank tallies, accumulated single-threaded inside the rank's own
+/// thread and reduced after the join barrier.
+struct RankStats {
+  std::size_t sum_tree_edges = 0;
+  std::size_t max_tree_edges = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t gather_nodes = 0;
+  std::uint64_t gather_edges = 0;
+  std::uint64_t words_ord = 0;
+};
+
+/// Runs `body(rank)` on one thread per rank and rethrows the first captured
+/// exception after all threads joined (the join doubles as the phase
+/// barrier the memory-ordering argument in transport.hpp relies on).
+void run_ranks(std::size_t ranks, const std::function<void(std::size_t)>& body) {
+  std::vector<std::exception_ptr> errors(ranks);
+  std::vector<std::thread> threads;
+  threads.reserve(ranks);
+  for (std::size_t rank = 0; rank < ranks; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        body(rank);
+      } catch (...) {
+        errors[rank] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+EdgeSet sharded_union_of_trees(
+    const Graph& g, Dist ball_depth,
+    const std::function<RootedTree(DomTreeBuilder&, NodeId)>& make_tree,
+    const ShardConfig& config, SpannerBuildInfo* info, WordExchange* exchange) {
+  REMSPAN_CHECK(config.sharded());
+  obs::PhaseSpan span("shard.union_of_trees");
+
+  const ShardPlan plan = ShardPlan::make(g, config);
+  const std::size_t ranks = plan.num_shards();
+  const std::size_t batch_size = std::max<std::size_t>(1, config.batch_roots);
+
+  InProcessExchange default_exchange(ranks);
+  WordExchange& ex = exchange != nullptr ? *exchange : default_exchange;
+  REMSPAN_CHECK(ex.num_ranks() == ranks);
+
+  // Level-1 accumulators: one full-width bitset per rank. unique_ptr keeps
+  // AtomicBitset's non-movable words out of vector reallocation trouble.
+  std::vector<std::unique_ptr<AtomicBitset>> rank_bits(ranks);
+  for (auto& bits : rank_bits) bits = std::make_unique<AtomicBitset>(g.num_edges());
+  std::vector<RankStats> stats(ranks);
+
+  run_ranks(ranks, [&](std::size_t rank) {
+    BallScout scout(g.num_nodes());
+    BallGather gather(g.num_nodes());
+    std::vector<EdgeId> ids;
+    RankStats& rs = stats[rank];
+    const auto roots = plan.roots(rank);
+    for (std::size_t begin = 0; begin < roots.size(); begin += batch_size) {
+      const auto batch = roots.subspan(begin, std::min(batch_size, roots.size() - begin));
+      scout.run(g, batch, ball_depth);
+      gather.gather(g, scout.touched());
+      // The builder's scratch is sized by the LOCAL node count, so building
+      // it per batch costs O(|union ball|) — the flat engine pays O(n) per
+      // worker once, but then walks the full-size graph for every root.
+      DomTreeBuilder builder(gather.local());
+      ++rs.batches;
+      rs.gather_nodes += gather.members().size();
+      rs.gather_edges += gather.local().num_edges();
+      for (const NodeId root : batch) {
+        const RootedTree tree = make_tree(builder, gather.local_id(root));
+        ids.clear();
+        for (const NodeId v : tree.nodes()) {
+          if (v == tree.root()) continue;
+          const EdgeId local_edge = tree.parent_edge(v);
+          REMSPAN_CHECK(local_edge != kInvalidEdge);
+          ids.push_back(gather.global_edge(local_edge));
+        }
+        rs.sum_tree_edges += ids.size();
+        rs.max_tree_edges = std::max(rs.max_tree_edges, ids.size());
+        rs.words_ord += rank_bits[rank]->or_batch(ids);
+      }
+    }
+    ex.publish(rank, *rank_bits[rank]);
+  });
+
+  // Level 2: every rank OR-reduces its owned word span into a disjoint
+  // slice of the final word array. The join above ordered all publishes
+  // (and all level-1 stores) before these reads.
+  std::vector<std::uint64_t> merged(plan.num_words(), 0);
+  run_ranks(ranks, [&](std::size_t rank) {
+    const auto [word_begin, word_end] = plan.word_span(rank);
+    ex.gather_or(word_begin, word_end,
+                 std::span(merged).subspan(word_begin, word_end - word_begin));
+  });
+
+  EdgeSet spanner(g, DynamicBitset::from_words(g.num_edges(), std::move(merged)));
+
+  RankStats total;
+  for (const RankStats& rs : stats) {
+    total.sum_tree_edges += rs.sum_tree_edges;
+    total.max_tree_edges = std::max(total.max_tree_edges, rs.max_tree_edges);
+    total.batches += rs.batches;
+    total.gather_nodes += rs.gather_nodes;
+    total.gather_edges += rs.gather_edges;
+    total.words_ord += rs.words_ord;
+  }
+  if (info != nullptr) {
+    info->sum_tree_edges = total.sum_tree_edges;
+    info->max_tree_edges = total.max_tree_edges;
+    info->build_seconds = span.seconds();
+  }
+  if (obs::Registry* m = obs::metrics()) {
+    m->counter("shard.builds").add(1);
+    m->counter("shard.ranks").add(ranks);
+    m->counter("shard.trees").add(g.num_nodes());
+    m->counter("shard.batches").add(total.batches);
+    m->counter("shard.gather_nodes").add(total.gather_nodes);
+    m->counter("shard.gather_edges").add(total.gather_edges);
+    m->counter("shard.words_ord").add(total.words_ord);
+    m->counter("shard.words_exchanged").add(plan.num_words() * ranks);
+    m->counter("shard.spanner_edges").add(spanner.size());
+  }
+  return spanner;
+}
+
+}  // namespace remspan

@@ -1,0 +1,50 @@
+// The sharded spanner build engine: partitions the root universe across S
+// shard ranks (threads today; the WordExchange seam is where processes
+// would plug in), runs frontier-batched dominating-tree builds inside each
+// rank, and merges per-rank edge bitsets in two levels —
+//
+//   level 1 (intra-shard): each tree's edge ids merge into the rank's own
+//     full-width AtomicBitset with word-batched relaxed fetch_or
+//     (AtomicBitset::or_batch), exactly the flat engine's discipline but
+//     contention-free because the bitset is rank-local;
+//   level 2 (inter-shard): after the build barrier, each rank OR-reduces
+//     the word span it owns (ShardPlan::word_span) across all published
+//     rank bitsets through the WordExchange, writing disjoint slices of
+//     the final word array.
+//
+// Inside a rank, roots are processed in locality order (ShardPlan) in
+// batches of ShardConfig::batch_roots: one multi-source scout sweep over
+// the union ball, one compact induced-subgraph gather (ball_gather.hpp),
+// then every tree of the batch builds against that cache-resident local
+// CSR. The output is bit-exact equal to the flat engine for every shard
+// count (see ball_gather.hpp for the argument; test_shard_equivalence.cpp
+// pins it for S in {1, 2, 3, 8}).
+#pragma once
+
+#include <functional>
+
+#include "core/remote_spanner.hpp"
+#include "graph/edge_set.hpp"
+#include "graph/graph.hpp"
+#include "shard/shard_plan.hpp"
+#include "shard/transport.hpp"
+
+namespace remspan {
+
+/// Sharded counterpart of core/remote_spanner.cpp's union_of_trees.
+/// `make_tree` receives a builder bound to the batch's local subgraph and a
+/// LOCAL root id — the per-algorithm lambdas work unchanged because the
+/// gather preserves every id tie-break (order isomorphism). `ball_depth`
+/// must cover the deepest node the tree algorithm can touch (r for mis,
+/// max(r, r-1+beta) for greedy, 2 for the k-connecting pair).
+///
+/// Requires config.sharded(); callers route S <= 1 to the flat engine.
+/// `exchange` defaults to an InProcessExchange over config.num_shards
+/// ranks; a caller-supplied exchange must have that many ranks.
+[[nodiscard]] EdgeSet sharded_union_of_trees(
+    const Graph& g, Dist ball_depth,
+    const std::function<RootedTree(DomTreeBuilder&, NodeId)>& make_tree,
+    const ShardConfig& config, SpannerBuildInfo* info = nullptr,
+    WordExchange* exchange = nullptr);
+
+}  // namespace remspan

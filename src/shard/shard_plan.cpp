@@ -1,0 +1,77 @@
+#include "shard/shard_plan.hpp"
+
+#include <algorithm>
+
+namespace remspan {
+
+namespace detail {
+
+void check_shard_limits(std::size_t nodes, std::size_t edges, std::size_t shards) {
+  // kInvalidNode/kInvalidEdge are sentinels, so the largest representable
+  // count is one below them.
+  REMSPAN_CHECK(nodes < kInvalidNode);
+  REMSPAN_CHECK(edges < kInvalidEdge);
+  REMSPAN_CHECK(shards >= 1);
+  REMSPAN_CHECK(shards <= kMaxShards);
+}
+
+}  // namespace detail
+
+std::vector<NodeId> locality_root_order(const Graph& g, std::size_t cluster_size) {
+  const NodeId n = g.num_nodes();
+  const std::size_t cap = cluster_size == 0 ? std::size_t{n} + 1 : cluster_size;
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<std::uint8_t> visited(n, 0);
+  NodeId scan = 0;  // ids below scan are all visited, so seeds scan forward
+  while (order.size() < n) {
+    while (scan < n && visited[scan] != 0) ++scan;
+    // One cluster: BFS from the seed, stopping at `cap` nodes. order doubles
+    // as the BFS queue — a cluster is the contiguous segment it appended.
+    // Capping the queue (rather than draining a full frontier) keeps every
+    // cluster a compact blob: a frontier ring of a whole-graph BFS spreads
+    // consecutive entries around its whole circumference, which is exactly
+    // what batched ball-gathering must avoid.
+    const std::size_t cluster_end = order.size() + cap;
+    std::size_t head = order.size();
+    visited[scan] = 1;
+    order.push_back(scan);
+    for (; head < order.size() && order.size() < cluster_end; ++head) {
+      for (const NodeId v : g.neighbors(order[head])) {
+        if (visited[v] == 0) {
+          visited[v] = 1;
+          order.push_back(v);
+          if (order.size() >= cluster_end) break;
+        }
+      }
+    }
+  }
+  return order;
+}
+
+ShardPlan ShardPlan::make(const Graph& g, const ShardConfig& config) {
+  const std::size_t shards = config.num_shards == 0 ? 1 : config.num_shards;
+  detail::check_shard_limits(g.num_nodes(), g.num_edges(), shards);
+
+  const std::size_t batch = config.batch_roots == 0 ? 1 : config.batch_roots;
+  ShardPlan plan;
+  plan.order_ = locality_root_order(g, batch);
+  plan.num_words_ = (g.num_edges() + 63) / 64;
+  plan.root_offsets_.resize(shards + 1);
+  plan.word_offsets_.resize(shards + 1);
+  const std::size_t n = plan.order_.size();
+  for (std::size_t s = 0; s <= shards; ++s) {
+    // Root spans balanced to the nearest cluster multiple, so the engine's
+    // frontier batches coincide with the compact clusters of the order
+    // (imbalance <= one batch; tiny graphs may leave low ranks empty, which
+    // the engine handles). Word spans stay balanced within one word.
+    const std::size_t raw = n * s / shards;
+    plan.root_offsets_[s] = std::min(n, (raw + batch / 2) / batch * batch);
+    plan.word_offsets_[s] = plan.num_words_ * s / shards;
+  }
+  plan.root_offsets_[0] = 0;
+  plan.root_offsets_[shards] = n;
+  return plan;
+}
+
+}  // namespace remspan

@@ -1,0 +1,27 @@
+#include "shard/transport.hpp"
+
+#include <algorithm>
+
+namespace remspan {
+
+void InProcessExchange::publish(std::size_t rank, const AtomicBitset& words) {
+  REMSPAN_CHECK(rank < slots_.size());
+  REMSPAN_CHECK(slots_[rank] == nullptr);
+  slots_[rank] = &words;
+}
+
+void InProcessExchange::gather_or(std::size_t word_begin, std::size_t word_end,
+                                  std::span<std::uint64_t> out) const {
+  REMSPAN_CHECK(word_begin <= word_end);
+  REMSPAN_CHECK(out.size() == word_end - word_begin);
+  std::fill(out.begin(), out.end(), 0);
+  for (const AtomicBitset* slot : slots_) {
+    REMSPAN_CHECK(slot != nullptr);
+    REMSPAN_CHECK(word_end <= slot->num_words());
+    for (std::size_t w = word_begin; w < word_end; ++w) {
+      out[w - word_begin] |= slot->word(w);
+    }
+  }
+}
+
+}  // namespace remspan

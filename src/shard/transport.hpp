@@ -1,0 +1,58 @@
+// The inter-shard merge boundary, shaped like a transport: rank-local word
+// arrays go in (publish), OR-reduced word ranges come out (gather_or).
+// Today the only implementation is in-process pointer exchange between
+// shard threads; a message-passing implementation (one process per rank,
+// words on the wire) can slot in behind the same interface without touching
+// the engine — the coordinator/word-batch model of the message-passing
+// spanner literature (PAPERS.md, Fernández-Baca–Woodruff–Yasuda).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan {
+
+/// Exchange contract: every rank publishes its local edge-bitset words
+/// exactly once, then — after all publishes are complete (the engine's
+/// fork/join barrier) — ranks pull the OR over all published arrays for
+/// the word ranges they own.
+class WordExchange {
+ public:
+  virtual ~WordExchange() = default;
+
+  [[nodiscard]] virtual std::size_t num_ranks() const = 0;
+
+  /// Hands rank's local words to the exchange. Called once per rank, from
+  /// the rank's own thread; `words` must stay alive until gathering ends.
+  virtual void publish(std::size_t rank, const AtomicBitset& words) = 0;
+
+  /// OR of all published arrays over words [word_begin, word_end), written
+  /// into `out` (out.size() == word_end - word_begin). Only valid after
+  /// every rank has published.
+  virtual void gather_or(std::size_t word_begin, std::size_t word_end,
+                         std::span<std::uint64_t> out) const = 0;
+};
+
+/// Thread-backed exchange: publish stores a pointer into the rank's slot
+/// (distinct slots, so concurrent publishes from shard threads are race
+/// free) and gather_or reads the atomic words directly. The fork/join
+/// barrier between the build and merge phases orders every publish before
+/// every gather.
+class InProcessExchange final : public WordExchange {
+ public:
+  explicit InProcessExchange(std::size_t ranks) : slots_(ranks, nullptr) {}
+
+  [[nodiscard]] std::size_t num_ranks() const override { return slots_.size(); }
+  void publish(std::size_t rank, const AtomicBitset& words) override;
+  void gather_or(std::size_t word_begin, std::size_t word_end,
+                 std::span<std::uint64_t> out) const override;
+
+ private:
+  std::vector<const AtomicBitset*> slots_;
+};
+
+}  // namespace remspan

@@ -16,6 +16,7 @@
 #include "geom/ball_graph.hpp"
 #include "geom/synthetic.hpp"
 #include "graph/connectivity.hpp"
+#include "support/corpus.hpp"
 #include "util/rng.hpp"
 
 namespace remspan {
@@ -271,35 +272,20 @@ void expect_identical_trees(const RootedTree& got, const RootedTree& want,
   }
 }
 
+/// The shared equivalence corpus (tests/support/corpus.hpp); aliased so
+/// the sweep bodies below read the same as before the extraction.
 Graph family_graph(int which, std::uint64_t seed) {
-  Rng rng(seed);
-  switch (which % 6) {
-    case 0:
-      return connected_gnp(48, 0.10, rng);
-    case 1:
-      return grid_graph(8, 6);
-    case 2:
-      return connected_gnp(30, 0.25, rng);  // dense: big shells, heavy covers
-    case 3: {
-      const auto gg = uniform_unit_ball_graph(70, 5.0, 2, rng);
-      const auto comps = connected_components(gg.graph);
-      return induced_subgraph(gg.graph, comps.largest()).graph;
-    }
-    case 4:
-      return hypercube_graph(5);
-    default:
-      return complete_bipartite(6, 8);
-  }
+  return testsupport::equivalence_family(which, seed);
 }
 
 TEST(DomTreeEquivalence, GreedyMatchesReferenceAcrossFamiliesAndParams) {
-  for (int which = 0; which < 6; ++which) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Graph g = family_graph(which, 1000 * seed + which);
       DomTreeBuilder fast(g);
       ReferenceBuilder ref(g);
-      for (const Dist r : {2u, 3u, 4u}) {
-        for (const Dist beta : {0u, 1u, 2u}) {
+      for (const Dist r : testsupport::kGreedyRadii) {
+        for (const Dist beta : testsupport::kGreedyBetas) {
           for (NodeId u = 0; u < g.num_nodes(); u += 3) {
             expect_identical_trees(
                 fast.greedy(u, r, beta), ref.greedy(u, r, beta),
@@ -314,12 +300,12 @@ TEST(DomTreeEquivalence, GreedyMatchesReferenceAcrossFamiliesAndParams) {
 }
 
 TEST(DomTreeEquivalence, MisMatchesReferenceAcrossFamiliesAndRadii) {
-  for (int which = 0; which < 6; ++which) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Graph g = family_graph(which, 2000 * seed + which);
       DomTreeBuilder fast(g);
       ReferenceBuilder ref(g);
-      for (const Dist r : {2u, 3u, 5u}) {
+      for (const Dist r : testsupport::kMisRadii) {
         for (NodeId u = 0; u < g.num_nodes(); u += 3) {
           expect_identical_trees(fast.mis(u, r), ref.mis(u, r),
                                  "mis graph=" + std::to_string(which) +
@@ -332,12 +318,12 @@ TEST(DomTreeEquivalence, MisMatchesReferenceAcrossFamiliesAndRadii) {
 }
 
 TEST(DomTreeEquivalence, GreedyKMatchesReferenceAcrossFamiliesAndK) {
-  for (int which = 0; which < 6; ++which) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Graph g = family_graph(which, 3000 * seed + which);
       DomTreeBuilder fast(g);
       ReferenceBuilder ref(g);
-      for (const Dist k : {1u, 2u, 3u, 5u}) {
+      for (const Dist k : testsupport::kGreedyKs) {
         for (NodeId u = 0; u < g.num_nodes(); u += 3) {
           expect_identical_trees(fast.greedy_k(u, k), ref.greedy_k(u, k),
                                  "greedy_k graph=" + std::to_string(which) +
@@ -350,12 +336,12 @@ TEST(DomTreeEquivalence, GreedyKMatchesReferenceAcrossFamiliesAndK) {
 }
 
 TEST(DomTreeEquivalence, MisKMatchesReferenceAcrossFamiliesAndK) {
-  for (int which = 0; which < 6; ++which) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
     for (std::uint64_t seed = 1; seed <= 3; ++seed) {
       const Graph g = family_graph(which, 4000 * seed + which);
       DomTreeBuilder fast(g);
       ReferenceBuilder ref(g);
-      for (const Dist k : {1u, 2u, 3u}) {
+      for (const Dist k : testsupport::kMisKs) {
         for (NodeId u = 0; u < g.num_nodes(); u += 3) {
           expect_identical_trees(fast.mis_k(u, k), ref.mis_k(u, k),
                                  "mis_k graph=" + std::to_string(which) +
@@ -370,7 +356,7 @@ TEST(DomTreeEquivalence, MisKMatchesReferenceAcrossFamiliesAndK) {
 /// The concurrent shared-bitset union must produce exactly the edge set of
 /// a sequential one-builder union of the same (reference) trees.
 TEST(DomTreeEquivalence, SpannerUnionMatchesSequentialReferenceUnion) {
-  for (int which = 0; which < 6; ++which) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
     const Graph g = family_graph(which, 500 + which);
     ReferenceBuilder ref(g);
 

@@ -104,6 +104,21 @@ TEST(Graph, DegreeSumIsTwiceEdges) {
                    static_cast<double>(degree_sum) / static_cast<double>(g.num_nodes()));
 }
 
+TEST(Graph, OverflowGuardsRejectSentinelSizedUniverses) {
+  // NodeId/EdgeId are 32-bit with all-ones sentinels (kInvalidNode,
+  // kInvalidEdge): a universe whose count reaches the sentinel would make
+  // real ids collide with "no node"/"no edge". The guard is pure counting
+  // math, so the death-test exercises it directly — materializing a 2^32
+  // node graph to trip it through from_canonical_edges is neither possible
+  // nor necessary.
+  detail::check_graph_limits(0, 0);  // empty universe is fine
+  detail::check_graph_limits(kInvalidNode - 1, kInvalidEdge - 1);  // largest legal
+  EXPECT_THROW(detail::check_graph_limits(kInvalidNode, 0), CheckError);
+  EXPECT_THROW(detail::check_graph_limits(std::size_t{kInvalidNode} + 1, 0), CheckError);
+  EXPECT_THROW(detail::check_graph_limits(0, kInvalidEdge), CheckError);
+  EXPECT_THROW(detail::check_graph_limits(0, std::size_t{kInvalidEdge} + 7), CheckError);
+}
+
 TEST(Graph, CompleteGraphEdgeCount) {
   const Graph g = complete_graph(10);
   EXPECT_EQ(g.num_edges(), 45u);

@@ -16,37 +16,19 @@
 #include "geom/ball_graph.hpp"
 #include "geom/synthetic.hpp"
 #include "graph/connectivity.hpp"
+#include "support/corpus.hpp"
 #include "util/rng.hpp"
 
 namespace remspan {
 namespace {
 
-/// The graph families the equivalence sweep runs over (>= 3 per the
-/// acceptance criteria; each exercises a different ball geometry).
+/// The shared churn corpus and construction sweep (tests/support/corpus.hpp);
+/// aliased so the sweep bodies below read the same as before the extraction.
 Graph make_family(int family, std::uint64_t seed) {
-  Rng rng(seed);
-  switch (family) {
-    case 0:
-      return connected_gnp(90, 0.06, rng);
-    case 1: {
-      const auto gg = largest_component(uniform_unit_ball_graph(110, 5.5, 2, rng));
-      return gg.graph;
-    }
-    default:
-      return watts_strogatz(100, 6, 0.1, rng);
-  }
+  return testsupport::churn_family(family, seed);
 }
 
-std::vector<IncrementalConfig> sweep_configs() {
-  return {
-      IncrementalConfig::k_connecting(1),
-      IncrementalConfig::k_connecting(2),
-      IncrementalConfig::two_connecting(2),
-      IncrementalConfig::r_beta_tree(3, 1, TreeAlgorithm::kGreedy),
-      IncrementalConfig::r_beta_tree(2, 0, TreeAlgorithm::kGreedy),
-      IncrementalConfig::low_stretch(0.5, TreeAlgorithm::kMis),
-  };
-}
+std::vector<IncrementalConfig> sweep_configs() { return testsupport::incremental_sweep_configs(); }
 
 /// One random batch of events: edge toggles over node pairs biased toward
 /// existing edges, with a sprinkle of node up/down churn.

@@ -16,17 +16,15 @@
 #include "geom/ball_graph.hpp"
 #include "graph/connectivity.hpp"
 #include "obs/obs.hpp"
+#include "support/corpus.hpp"
 #include "sim/remspan_protocol.hpp"
 #include "util/rng.hpp"
 
 namespace remspan {
 namespace {
 
-Graph test_graph(std::uint64_t seed) {
-  Rng rng(seed);
-  const auto gg = random_unit_disk_graph(5.0, 160, rng);
-  return largest_component(gg.graph);
-}
+/// The shared single-topology corpus (tests/support/corpus.hpp).
+Graph test_graph(std::uint64_t seed) { return testsupport::observability_graph(seed); }
 
 TEST(ObsEquivalence, CentralizedBuildsBitIdenticalWithSinksOn) {
   const Graph g = test_graph(11);

@@ -1,0 +1,386 @@
+// Shard-count invariance: the sharded engine (src/shard) must be
+// indistinguishable from the flat engine at every shard count — the same
+// spanner bit-for-bit, the same per-root trees, the same aggregate stats —
+// across the shared equivalence corpus and all four tree algorithms. This
+// is the contract that makes ShardConfig a pure execution knob: S is
+// allowed to change memory traffic and thread count, never a single bit of
+// output. Also covered: the ShardPlan partition math, the BallScout /
+// BallGather compact-subgraph machinery the engine builds on, and (under
+// TSan, see the CI regex) the two-level inter-shard merge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/dominating_tree.hpp"
+#include "core/remote_spanner.hpp"
+#include "geom/ball_graph.hpp"
+#include "graph/connectivity.hpp"
+#include "shard/ball_gather.hpp"
+#include "shard/shard_engine.hpp"
+#include "shard/shard_plan.hpp"
+#include "shard/transport.hpp"
+#include "support/corpus.hpp"
+#include "util/rng.hpp"
+
+namespace remspan {
+namespace {
+
+constexpr std::size_t kShardCounts[] = {1, 2, 3, 8};
+
+ShardConfig sharded(std::size_t s, std::size_t batch = 128) {
+  ShardConfig config;
+  config.num_shards = s;
+  config.batch_roots = batch;
+  return config;
+}
+
+/// Builds with the flat engine and with every shard count, requiring the
+/// exact same edge set and the exact same aggregate stats each time.
+void expect_shard_invariant(
+    const Graph& g, const std::string& label,
+    const std::function<EdgeSet(const ShardConfig&, SpannerBuildInfo*)>& build) {
+  SpannerBuildInfo flat_info;
+  const EdgeSet flat = build(ShardConfig{}, &flat_info);
+  for (const std::size_t s : kShardCounts) {
+    // A batch size smaller than the shard's root span forces multiple
+    // gather rounds per shard — the interesting path.
+    for (const std::size_t batch : {std::size_t{4}, std::size_t{128}}) {
+      SpannerBuildInfo info;
+      const EdgeSet got = build(sharded(s, batch), &info);
+      const std::string at = label + " S=" + std::to_string(s) +
+                             " batch=" + std::to_string(batch);
+      EXPECT_TRUE(got == flat) << at << ": spanner differs";
+      EXPECT_EQ(info.sum_tree_edges, flat_info.sum_tree_edges) << at;
+      EXPECT_EQ(info.max_tree_edges, flat_info.max_tree_edges) << at;
+    }
+  }
+}
+
+// --- plan -----------------------------------------------------------------
+
+TEST(ShardPlan, LocalityOrderIsAPermutationInBfsOrder) {
+  const Graph g = testsupport::equivalence_family(3, 7);
+  const auto order = locality_root_order(g);
+  ASSERT_EQ(order.size(), g.num_nodes());
+  std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+  for (const NodeId v : order) {
+    ASSERT_LT(v, g.num_nodes());
+    EXPECT_EQ(seen[v], 0) << "duplicate root " << v;
+    seen[v] = 1;
+  }
+  // BFS property on a connected graph: every node after the first is
+  // adjacent to some earlier node of the order.
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    bool near = false;
+    for (const NodeId w : g.neighbors(order[i])) {
+      for (std::size_t j = 0; j < i && !near; ++j) near = order[j] == w;
+      if (near) break;
+    }
+    EXPECT_TRUE(near) << "order[" << i << "]=" << order[i] << " not adjacent to a predecessor";
+  }
+}
+
+TEST(ShardPlan, ClusteredOrderIsAPermutationOfCompactBlobs) {
+  // With a cluster bound, every position is either BFS-reachable from an
+  // earlier position or a fresh cluster seed — and the seed rule is
+  // "smallest unvisited id", i.e. the minimum of the remaining suffix.
+  for (const std::size_t cluster : {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+    const Graph g = testsupport::equivalence_family(3, 7);
+    const auto order = locality_root_order(g, cluster);
+    ASSERT_EQ(order.size(), g.num_nodes());
+    std::vector<std::uint8_t> seen(g.num_nodes(), 0);
+    for (const NodeId v : order) {
+      ASSERT_LT(v, g.num_nodes());
+      EXPECT_EQ(seen[v], 0) << "duplicate root " << v;
+      seen[v] = 1;
+    }
+    for (std::size_t i = 1; i < order.size(); ++i) {
+      bool near = false;
+      for (const NodeId w : g.neighbors(order[i])) {
+        for (std::size_t j = 0; j < i && !near; ++j) near = order[j] == w;
+        if (near) break;
+      }
+      if (near) continue;
+      const NodeId min_remaining = *std::min_element(order.begin() + i, order.end());
+      EXPECT_EQ(order[i], min_remaining)
+          << "order[" << i << "] is neither adjacent to a predecessor nor the seed rule's pick";
+    }
+  }
+}
+
+TEST(ShardPlan, SpansPartitionRootsAndWords) {
+  const Graph g = testsupport::equivalence_family(0, 3);
+  for (const std::size_t s : {1, 2, 3, 8, 17}) {
+    const ShardPlan plan = ShardPlan::make(g, sharded(std::max<std::size_t>(s, 1)));
+    ASSERT_EQ(plan.num_shards(), s);
+    std::size_t roots = 0;
+    std::size_t prev_word_end = 0;
+    for (std::size_t rank = 0; rank < s; ++rank) {
+      roots += plan.roots(rank).size();
+      const auto [word_begin, word_end] = plan.word_span(rank);
+      EXPECT_EQ(word_begin, prev_word_end) << "gap before rank " << rank;
+      EXPECT_LE(word_end - word_begin,
+                plan.num_words() / s + 1);  // balanced within one word
+      prev_word_end = word_end;
+    }
+    EXPECT_EQ(roots, g.num_nodes());
+    EXPECT_EQ(prev_word_end, plan.num_words());
+    EXPECT_EQ(plan.num_words(), (g.num_edges() + 63) / 64);
+  }
+}
+
+TEST(ShardPlan, RejectsOutOfRangeShardCounts) {
+  const Graph g = testsupport::equivalence_family(1, 1);
+  EXPECT_THROW(ShardPlan::make(g, sharded(kMaxShards + 1)), CheckError);
+  EXPECT_NO_THROW(ShardPlan::make(g, sharded(kMaxShards)));
+}
+
+TEST(ShardPlan, OverflowGuardsRejectSentinelSizedUniverses) {
+  // Pure-math checks: no graph this size is ever allocated.
+  EXPECT_THROW(detail::check_shard_limits(std::size_t{kInvalidNode}, 10, 2), CheckError);
+  EXPECT_THROW(detail::check_shard_limits(10, std::size_t{kInvalidEdge}, 2), CheckError);
+  EXPECT_THROW(detail::check_shard_limits(10, 10, 0), CheckError);
+  EXPECT_NO_THROW(detail::check_shard_limits(kInvalidNode - 1, kInvalidEdge - 1, 1));
+}
+
+// --- scout + gather -------------------------------------------------------
+
+TEST(ShardGather, InducedSubgraphMatchesGlobalBallExactly) {
+  const Graph g = testsupport::equivalence_family(2, 5);
+  BallScout scout(g.num_nodes());
+  BallGather gather(g.num_nodes());
+  const NodeId sources[] = {0, 7, 13};
+  scout.run(g, sources, 2);
+  gather.gather(g, scout.touched());
+
+  const Graph& local = gather.local();
+  ASSERT_EQ(local.num_nodes(), gather.members().size());
+  // Members are sorted by global id, so local ids are order-isomorphic.
+  EXPECT_TRUE(std::is_sorted(gather.members().begin(), gather.members().end()));
+  for (NodeId lu = 0; lu < local.num_nodes(); ++lu) {
+    EXPECT_EQ(gather.local_id(gather.global_id(lu)), lu);
+  }
+  // Every induced edge exists globally with the mapped id, and every global
+  // edge between members exists locally.
+  std::size_t expected_edges = 0;
+  for (const Edge& e : g.edges()) {
+    if (scout.in_ball(e.u) && scout.in_ball(e.v)) ++expected_edges;
+  }
+  EXPECT_EQ(local.num_edges(), expected_edges);
+  for (EdgeId le = 0; le < local.num_edges(); ++le) {
+    const Edge local_edge = local.edge(le);
+    const EdgeId ge = gather.global_edge(le);
+    const Edge global_edge = g.edge(ge);
+    EXPECT_EQ(gather.global_id(local_edge.u), global_edge.u);
+    EXPECT_EQ(gather.global_id(local_edge.v), global_edge.v);
+  }
+}
+
+TEST(ShardGather, RepeatedGathersResetCleanly) {
+  const Graph g = testsupport::equivalence_family(0, 9);
+  BallScout scout(g.num_nodes());
+  BallGather gather(g.num_nodes());
+  const NodeId first[] = {0};
+  scout.run(g, first, 2);
+  gather.gather(g, scout.touched());
+  const std::vector<NodeId> first_members(gather.members().begin(), gather.members().end());
+
+  const NodeId second[] = {5};
+  scout.run(g, second, 1);
+  gather.gather(g, scout.touched());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const bool member =
+        std::find(gather.members().begin(), gather.members().end(), v) != gather.members().end();
+    EXPECT_EQ(gather.local_id(v) != kInvalidNode, member) << "stale local id for " << v;
+    EXPECT_EQ(scout.in_ball(v), member);
+  }
+  // And going back reproduces the first gather exactly.
+  scout.run(g, first, 2);
+  gather.gather(g, scout.touched());
+  EXPECT_TRUE(std::equal(gather.members().begin(), gather.members().end(),
+                         first_members.begin(), first_members.end()));
+}
+
+/// The heart of the bit-exactness argument (ball_gather.hpp): a tree built
+/// for a root inside the gathered union ball equals the whole-graph tree
+/// node-for-node, parent-for-parent, edge-for-edge.
+TEST(ShardGather, LocalTreesMatchGlobalTreesAcrossCorpus) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
+    const Graph g = testsupport::equivalence_family(which, 100 + which);
+    DomTreeBuilder global_builder(g);
+    BallScout scout(g.num_nodes());
+    BallGather gather(g.num_nodes());
+    // A small batch of nearby roots, like one engine frontier batch.
+    std::vector<NodeId> batch;
+    for (NodeId u = 0; u < g.num_nodes() && batch.size() < 6; u += 2) batch.push_back(u);
+
+    const Dist r = 3;
+    const Dist beta = 1;
+    const Dist ball_depth = std::max<Dist>(r, r - 1 + beta);
+    scout.run(g, batch, ball_depth);
+    gather.gather(g, scout.touched());
+    DomTreeBuilder local_builder(gather.local());
+
+    for (const NodeId u : batch) {
+      const RootedTree global_tree = global_builder.greedy(u, r, beta);
+      const RootedTree local_tree = local_builder.greedy(gather.local_id(u), r, beta);
+      const std::string at = "family=" + std::to_string(which) + " u=" + std::to_string(u);
+      ASSERT_EQ(local_tree.num_nodes(), global_tree.num_nodes()) << at;
+      const auto& local_nodes = local_tree.nodes();
+      const auto& global_nodes = global_tree.nodes();
+      for (std::size_t i = 0; i < local_nodes.size(); ++i) {
+        const NodeId gv = gather.global_id(local_nodes[i]);
+        EXPECT_EQ(gv, global_nodes[i]) << at << " pick order diverged at " << i;
+        if (gv == u) continue;
+        EXPECT_EQ(gather.global_id(local_tree.parent(local_nodes[i])), global_tree.parent(gv))
+            << at << " v=" << gv;
+        EXPECT_EQ(gather.global_edge(local_tree.parent_edge(local_nodes[i])),
+                  global_tree.parent_edge(gv))
+            << at << " v=" << gv;
+      }
+    }
+  }
+}
+
+// --- transport ------------------------------------------------------------
+
+TEST(ShardExchange, GatherOrReducesAcrossRanks) {
+  AtomicBitset a(200);
+  AtomicBitset b(200);
+  a.set(0);
+  a.set(64);
+  b.set(64);
+  b.set(199);
+  InProcessExchange ex(2);
+  ex.publish(0, a);
+  ex.publish(1, b);
+  std::vector<std::uint64_t> words(4, ~std::uint64_t{0});  // gather must overwrite
+  ex.gather_or(0, 4, words);
+  EXPECT_EQ(words[0], std::uint64_t{1});
+  EXPECT_EQ(words[1], std::uint64_t{1});
+  EXPECT_EQ(words[2], 0u);
+  EXPECT_EQ(words[3], std::uint64_t{1} << 7);  // bit 199 = word 3, bit 7
+  // Partial spans see the same values.
+  std::vector<std::uint64_t> tail(2);
+  ex.gather_or(2, 4, tail);
+  EXPECT_EQ(tail[0], 0u);
+  EXPECT_EQ(tail[1], std::uint64_t{1} << 7);
+}
+
+TEST(ShardExchange, RejectsDoublePublishAndRankOverflow) {
+  AtomicBitset bits(64);
+  InProcessExchange ex(1);
+  ex.publish(0, bits);
+  EXPECT_THROW(ex.publish(0, bits), CheckError);
+  EXPECT_THROW(ex.publish(1, bits), CheckError);
+}
+
+// --- engine invariance ----------------------------------------------------
+
+TEST(ShardEquivalence, GreedySpannersBitExactAcrossShardCounts) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const Graph g = testsupport::equivalence_family(which, 6000 * seed + which);
+      for (const Dist r : testsupport::kGreedyRadii) {
+        for (const Dist beta : testsupport::kGreedyBetas) {
+          expect_shard_invariant(
+              g,
+              "greedy family=" + std::to_string(which) + " seed=" + std::to_string(seed) +
+                  " r=" + std::to_string(r) + " beta=" + std::to_string(beta),
+              [&](const ShardConfig& shards, SpannerBuildInfo* info) {
+                return build_remote_spanner(g, r, beta, TreeAlgorithm::kGreedy, info, shards);
+              });
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalence, MisSpannersBitExactAcrossShardCounts) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const Graph g = testsupport::equivalence_family(which, 7000 * seed + which);
+      for (const Dist r : testsupport::kMisRadii) {
+        expect_shard_invariant(
+            g,
+            "mis family=" + std::to_string(which) + " seed=" + std::to_string(seed) +
+                " r=" + std::to_string(r),
+            [&](const ShardConfig& shards, SpannerBuildInfo* info) {
+              return build_remote_spanner(g, r, 1, TreeAlgorithm::kMis, info, shards);
+            });
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalence, GreedyKSpannersBitExactAcrossShardCounts) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const Graph g = testsupport::equivalence_family(which, 8000 * seed + which);
+      for (const Dist k : testsupport::kGreedyKs) {
+        expect_shard_invariant(
+            g,
+            "greedy_k family=" + std::to_string(which) + " seed=" + std::to_string(seed) +
+                " k=" + std::to_string(k),
+            [&](const ShardConfig& shards, SpannerBuildInfo* info) {
+              return build_k_connecting_spanner(g, k, info, shards);
+            });
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalence, MisKSpannersBitExactAcrossShardCounts) {
+  for (int which = 0; which < testsupport::kNumEquivalenceFamilies; ++which) {
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      const Graph g = testsupport::equivalence_family(which, 9000 * seed + which);
+      for (const Dist k : testsupport::kMisKs) {
+        expect_shard_invariant(
+            g,
+            "mis_k family=" + std::to_string(which) + " seed=" + std::to_string(seed) +
+                " k=" + std::to_string(k),
+            [&](const ShardConfig& shards, SpannerBuildInfo* info) {
+              return build_2connecting_spanner(g, k, info, shards);
+            });
+      }
+    }
+  }
+}
+
+/// A larger unit-disk graph (the paper's topology) through the facade's
+/// low-stretch front-end: the dispatch path a production caller takes.
+TEST(ShardEquivalence, LowStretchUdgBitExactThroughFrontEnd) {
+  const Graph g = testsupport::observability_graph(42);
+  expect_shard_invariant(g, "th1 udg",
+                         [&](const ShardConfig& shards, SpannerBuildInfo* info) {
+                           return build_low_stretch_remote_spanner(
+                               g, 0.5, TreeAlgorithm::kMis, info, shards);
+                         });
+}
+
+/// The merge under an externally supplied exchange: same bits as the
+/// default in-process exchange (exercises the transport seam directly).
+TEST(ShardEquivalence, ExternalExchangeMatchesDefault) {
+  const Graph g = testsupport::equivalence_family(3, 21);
+  const auto make_tree = [](DomTreeBuilder& b, NodeId u) { return b.greedy_k(u, 2); };
+  const EdgeSet flat = build_k_connecting_spanner(g, 2);
+
+  InProcessExchange ex(3);
+  const EdgeSet got = sharded_union_of_trees(g, 2, make_tree, sharded(3), nullptr, &ex);
+  EXPECT_TRUE(got == flat);
+  // A rank-count mismatch between config and exchange is rejected.
+  InProcessExchange wrong(2);
+  EXPECT_THROW(sharded_union_of_trees(g, 2, make_tree, sharded(3), nullptr, &wrong),
+               CheckError);
+}
+
+TEST(ShardEquivalence, EngineRequiresShardedConfig) {
+  const Graph g = testsupport::equivalence_family(5, 1);
+  const auto make_tree = [](DomTreeBuilder& b, NodeId u) { return b.greedy_k(u, 1); };
+  EXPECT_THROW(sharded_union_of_trees(g, 2, make_tree, ShardConfig{}), CheckError);
+}
+
+}  // namespace
+}  // namespace remspan

@@ -2,6 +2,7 @@
 // tables, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <set>
@@ -247,6 +248,66 @@ TEST(AtomicBitset, ClearBatchMirrorsOrBatch) {
   const DynamicBitset snap = bits.snapshot();
   for (const std::uint32_t i : published) {
     EXPECT_EQ(snap.test(i), i % 14 != 0) << "bit " << i;
+  }
+}
+
+TEST(AtomicBitset, OrBatchEmptyBatchTouchesNothing) {
+  AtomicBitset bits(256);
+  std::vector<std::uint32_t> batch;
+  EXPECT_EQ(bits.or_batch(batch), 0u);
+  EXPECT_EQ(bits.snapshot().count(), 0u);
+}
+
+TEST(AtomicBitset, OrBatchReturnsDistinctTouchedWords) {
+  // The return value is the RMW count: one per distinct 64-bit word in the
+  // batch, with in-word duplicates merged into a single mask. Indices
+  // straddling word boundaries (63|64, 127|128) must land in separate words.
+  AtomicBitset bits(256);
+  std::vector<std::uint32_t> batch{128, 63, 5, 64, 127, 64, 5};
+  EXPECT_EQ(bits.or_batch(batch), 3u);  // words 0, 1, 2
+  EXPECT_TRUE(std::is_sorted(batch.begin(), batch.end()));  // sorted in place
+  const DynamicBitset snap = bits.snapshot();
+  EXPECT_EQ(snap.count(), 5u);
+  for (const std::uint32_t i : {5u, 63u, 64u, 127u, 128u}) {
+    EXPECT_TRUE(snap.test(i)) << "bit " << i;
+  }
+  EXPECT_FALSE(snap.test(62));
+  EXPECT_FALSE(snap.test(65));
+}
+
+TEST(AtomicBitset, OrBatchCountsWordsEvenWhenBitsAlreadySet) {
+  // words_ord is a cost metric (RMWs issued), not a novelty metric: re-ORing
+  // an already-published batch costs the same word count and must not
+  // disturb the stored union.
+  AtomicBitset bits(256);
+  std::vector<std::uint32_t> batch{0, 70, 200};
+  EXPECT_EQ(bits.or_batch(batch), 3u);
+  std::vector<std::uint32_t> again{200, 0, 70};
+  EXPECT_EQ(bits.or_batch(again), 3u);
+  EXPECT_EQ(bits.snapshot().count(), 3u);
+}
+
+TEST(AtomicBitset, OrBatchConcurrentCallersConserveWordsAndBits) {
+  // Many workers publish overlapping batches concurrently (the shard
+  // engine's level-1 merge). Two conservation laws: the union is exact, and
+  // each caller's return value equals the distinct-word count of its own
+  // batch — a pure function of the batch, independent of interleaving.
+  constexpr std::size_t kBits = 4096;
+  constexpr std::size_t kTasks = 32;
+  AtomicBitset bits(kBits);
+  std::vector<std::size_t> words_ord(kTasks, 0);
+  ThreadPool::global().parallel_for(0, kTasks, [&](std::size_t task) {
+    std::vector<std::uint32_t> batch;
+    for (std::size_t i = task % 5; i < kBits; i += 5) {
+      batch.push_back(static_cast<std::uint32_t>(i));
+    }
+    words_ord[task] = bits.or_batch(batch);
+  });
+  const DynamicBitset snap = bits.snapshot();
+  EXPECT_EQ(snap.count(), kBits);  // residues 0..4 mod 5 jointly cover all
+  for (std::size_t task = 0; task < kTasks; ++task) {
+    // Every stride-5 batch over 4096 bits hits all 64 words.
+    EXPECT_EQ(words_ord[task], kBits / 64) << "task " << task;
   }
 }
 
