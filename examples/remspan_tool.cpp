@@ -33,6 +33,16 @@
 // bit-exactness checks still hold — that is the convergence-under-loss
 // contract of reconvergence.hpp.
 //
+// Service mode: --churn-trace <file> --serve-replay replays the trace
+// through the multi-tenant SpannerService (src/serve): --tenants T tenants
+// all open on the trace's initial graph, every trace batch is submitted to
+// every tenant through admission control (a kRetryAfter verdict flushes
+// the tenant and resubmits once), --workers W background drain threads
+// (0 = deterministic synchronous mode). The final drain prints per-tenant
+// epoch/coalescing/rejection accounting, and each tenant's last published
+// snapshot is checked bit-exact against a from-scratch build on its final
+// topology (and the matching oracle unless --no-verify).
+//
 // Observability: --trace-out <file> records the run as Chrome trace_event
 // JSON (load in Perfetto / chrome://tracing), --metrics-out <file> dumps
 // the metrics-registry snapshot; the REMSPAN_TRACE / REMSPAN_METRICS
@@ -48,6 +58,7 @@
 #include "dynamic/churn_trace.hpp"
 #include "graph/graphio.hpp"
 #include "obs/obs.hpp"
+#include "serve/service.hpp"
 #include "sim/reconvergence.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -333,6 +344,104 @@ int run_reconverge(const std::string& path, const api::SpannerSpec& spec,
   return 0;
 }
 
+/// --churn-trace --serve-replay: replay the trace through the multi-tenant
+/// service, every batch submitted to every tenant, and check each tenant's
+/// final published snapshot bit-exact against a from-scratch rebuild.
+int run_serve_replay(const std::string& path, const api::SpannerSpec& spec,
+                     const std::string& construction, bool verify, std::uint64_t seed,
+                     serve::ServiceConfig cfg, std::size_t num_tenants) {
+  ChurnTrace trace;
+  if (!load_trace(path, trace)) return 2;
+
+  if (!api::supports_incremental(spec)) {
+    std::cerr << "--serve-replay supports --construction th1|th2|th3 (got " << construction
+              << ")\n";
+    return 2;
+  }
+  if (num_tenants == 0) {
+    std::cerr << "--tenants expects a positive count\n";
+    return 2;
+  }
+  cfg.max_tenants = std::max(cfg.max_tenants, num_tenants);
+
+  obs::PhaseSpan timer("tool.serve_replay", "tool");
+  serve::SpannerService service(cfg);
+  const Graph initial = trace.initial_graph();
+  std::vector<serve::TenantId> ids;
+  ids.reserve(num_tenants);
+  for (std::size_t t = 0; t < num_tenants; ++t) {
+    ids.push_back(service.open_tenant(initial, spec.to_string()));
+  }
+  std::cout << "serve replay: " << path << "\n"
+            << "initial graph: n=" << initial.num_nodes() << " m=" << initial.num_edges()
+            << ", " << num_tenants << " tenant(s) of " << spec.to_string() << ", "
+            << cfg.worker_threads << " worker(s), opened in " << format_double(timer.seconds(), 3)
+            << " s\n\n";
+
+  std::uint64_t retries = 0;
+  for (const auto& batch : trace.batches) {
+    for (const serve::TenantId id : ids) {
+      serve::Admission verdict = service.submit(id, batch);
+      if (verdict != serve::Admission::kAccepted) {
+        // Back off exactly once: drain the offender and resubmit.
+        ++retries;
+        service.flush(id);
+        verdict = service.submit(id, batch);
+        if (verdict != serve::Admission::kAccepted) {
+          std::cerr << "tenant " << id << ": batch rejected twice ("
+                    << serve::admission_name(verdict) << ")\n";
+          return 1;
+        }
+      }
+    }
+  }
+  service.drain();
+  const double replay_s = timer.seconds();
+
+  Table table({"tenant", "epoch", "submitted", "coalesced", "applied", "batches", "retry",
+               "|H|"});
+  for (const serve::TenantId id : ids) {
+    const serve::TenantStats ts = service.tenant_stats(id);
+    table.add_row({std::to_string(id), std::to_string(ts.epoch),
+                   std::to_string(ts.events_submitted), std::to_string(ts.events_coalesced),
+                   std::to_string(ts.events_applied), std::to_string(ts.batches_applied),
+                   std::to_string(ts.rejected_retry_after + ts.rejected_overloaded),
+                   std::to_string(ts.spanner_edges)});
+  }
+  table.print(std::cout);
+  const serve::ServiceStats totals = service.stats();
+  std::cout << "\nreplayed " << trace.batches.size() << " batches x " << num_tenants
+            << " tenants in " << format_double(replay_s, 3) << " s (" << totals.epochs_published
+            << " epochs, " << totals.events_coalesced << " of " << totals.events_accepted
+            << " accepted events coalesced away, " << retries << " backoff retries)\n";
+
+  // Every tenant ran the same stream, so all final snapshots must agree —
+  // and each must equal a from-scratch build on its own final topology.
+  for (const serve::TenantId id : ids) {
+    const auto snap = service.snapshot(id);
+    const EdgeSet scratch = api::build_spanner(snap->graph(), spec).edges;
+    if (!(scratch == snap->spanner())) {
+      std::cout << "tenant " << id << " final snapshot vs from-scratch rebuild: NOT bit-exact\n";
+      return 1;
+    }
+  }
+  std::cout << "final snapshots vs from-scratch rebuilds: bit-exact ("
+            << service.snapshot(ids.front())->num_spanner_edges() << " edges each)\n";
+
+  if (verify) {
+    const auto snap = service.snapshot(ids.front());
+    timer.reset();
+    const api::VerifyFn oracle = api::make_verifier(spec);
+    api::VerifyOptions vopts;
+    vopts.seed = seed;
+    const bool ok = oracle(snap->graph(), snap->spanner(), vopts).satisfied;
+    std::cout << "oracle on final snapshot: " << (ok ? "satisfied" : "VIOLATED") << " ("
+              << format_double(timer.seconds(), 3) << " s)\n";
+    if (!ok) return 1;
+  }
+  return 0;
+}
+
 int tool_main(int argc, char** argv) {
   Options opts(argc, argv);
   const std::string construction = opts.get_string("construction", "th2");
@@ -345,6 +454,14 @@ int tool_main(int argc, char** argv) {
       spanner_spec_from_flags(construction, opts, seed, spec_seed_explicit);
   std::string churn_path = opts.get_string("churn-trace", "");
   const bool reconverge = opts.get_flag("reconverge");
+  // --serve-replay: the trace through the multi-tenant service layer.
+  const bool serve_replay = opts.get_flag("serve-replay");
+  serve::ServiceConfig serve_cfg;
+  const auto num_tenants = static_cast<std::size_t>(opts.get_int("tenants", 4));
+  serve_cfg.worker_threads = static_cast<std::size_t>(opts.get_int("workers", 0));
+  serve_cfg.tenant_queue_budget =
+      static_cast<std::size_t>(opts.get_int("queue-budget", 4096));
+  serve_cfg.max_batch_events = static_cast<std::size_t>(opts.get_int("batch-events", 512));
   const std::string trace_out = opts.get_string("trace-out", "");
   const std::string metrics_out = opts.get_string("metrics-out", "");
   const FaultConfig faults = fault_config_from_flags(opts, seed);
@@ -381,9 +498,15 @@ int tool_main(int argc, char** argv) {
               << " events) written to " << emit_trace_path << "\n";
     return 0;
   }
-  if (reconverge && churn_path.empty()) churn_path = opts.require_string("churn-trace");
+  if ((reconverge || serve_replay) && churn_path.empty()) {
+    churn_path = opts.require_string("churn-trace");
+  }
   if (!churn_path.empty()) {
     if (reconverge) return run_reconverge(churn_path, spec, construction, verify, faults);
+    if (serve_replay) {
+      return run_serve_replay(churn_path, spec, construction, verify, seed, serve_cfg,
+                              num_tenants);
+    }
     return run_churn_replay(churn_path, spec, construction, verify, seed);
   }
 

@@ -210,6 +210,138 @@ REMSPAN_API remspan_status_t remspan_session_graph(const remspan_session_t* sess
 
 REMSPAN_API void remspan_session_free(remspan_session_t* session);
 
+/* --- multi-tenant service (additive, ABI version unchanged) ------------- */
+
+/* A long-lived service hosting many tenants, each an open incremental
+ * session (spec string + evolving topology + maintained spanner) fronted
+ * by a coalescing ingestion queue and an immutable epoch-tagged snapshot.
+ * Thread-safety is stronger than the rest of this header: ONE service
+ * handle may be used from many threads concurrently — submits, queries
+ * and stats never need external synchronization. Queries answer against
+ * the tenant's current published epoch and never block a rebuild. */
+typedef struct remspan_service remspan_service_t;
+
+/* Admission-control verdict of a submit (REMSPAN_OK was returned; the
+ * verdict says whether the batch was actually enqueued). */
+typedef enum remspan_admission {
+  REMSPAN_ADMIT_ACCEPTED = 0,
+  REMSPAN_ADMIT_RETRY_AFTER = 1, /* tenant queue budget full — back off */
+  REMSPAN_ADMIT_OVERLOADED = 2   /* service-wide budget full — shed load */
+} remspan_admission_t;
+
+typedef struct remspan_service_config {
+  uint32_t worker_threads;    /* 0 = synchronous: drains only happen inside
+                               * flush/drain calls and the service is fully
+                               * deterministic */
+  uint32_t max_tenants;
+  size_t tenant_queue_budget; /* pending events per tenant before RETRY_AFTER */
+  size_t global_queue_budget; /* pending events service-wide before OVERLOADED */
+  size_t max_batch_events;    /* max coalesced events per published epoch */
+} remspan_service_config_t;
+
+/* Fills `out_config` with the library defaults (a no-op on NULL). */
+REMSPAN_API void remspan_service_config_default(remspan_service_config_t* out_config);
+
+/* Creates a service; NULL `config` means defaults. */
+REMSPAN_API remspan_status_t remspan_service_create(const remspan_service_config_t* config,
+                                                    remspan_service_t** out_service);
+
+/* Opens a tenant maintaining `spanner_spec` over a copy of `graph`'s
+ * topology and publishes its epoch-0 snapshot. REMSPAN_ERR_UNSUPPORTED for
+ * constructions without incremental maintenance (supported: th1, th2,
+ * th3); REMSPAN_ERR_INVALID_ARGUMENT at the tenant capacity limit. */
+REMSPAN_API remspan_status_t remspan_service_open_tenant(remspan_service_t* service,
+                                                         const remspan_graph_t* graph,
+                                                         const char* spanner_spec,
+                                                         uint32_t* out_tenant);
+
+/* Graceful eviction: drains the tenant's accepted events (publishing final
+ * epochs), then removes it. */
+REMSPAN_API remspan_status_t remspan_service_close_tenant(remspan_service_t* service,
+                                                          uint32_t tenant);
+
+/* Admission-controlled ingestion of one event batch (all-or-nothing: a
+ * rejected batch changes nothing but the rejection counter). On REMSPAN_OK
+ * *out_admission holds the remspan_admission_t verdict (out-pointer
+ * optional). Event validation is per remspan_session_apply. */
+REMSPAN_API remspan_status_t remspan_service_submit(remspan_service_t* service, uint32_t tenant,
+                                                    const remspan_event_t* events,
+                                                    size_t num_events,
+                                                    uint32_t* out_admission);
+
+/* Drains the tenant's queue to empty on the calling thread, publishing an
+ * epoch per coalesced batch. */
+REMSPAN_API remspan_status_t remspan_service_flush(remspan_service_t* service, uint32_t tenant);
+
+/* remspan_service_flush over every tenant. */
+REMSPAN_API remspan_status_t remspan_service_drain(remspan_service_t* service);
+
+/* Current published epoch of the tenant (0 is the open-time build;
+ * monotone non-decreasing). Returns 0 for unknown tenants. */
+REMSPAN_API uint64_t remspan_service_epoch(const remspan_service_t* service, uint32_t tenant);
+
+/* 1 if {u,v} is in the tenant's current-epoch spanner, 0 otherwise
+ * (unknown tenants/nodes/edges included). */
+REMSPAN_API int remspan_service_contains(const remspan_service_t* service, uint32_t tenant,
+                                         uint32_t u, uint32_t v);
+
+REMSPAN_API size_t remspan_service_spanner_num_edges(const remspan_service_t* service,
+                                                     uint32_t tenant);
+
+/* Current-epoch spanner edges, like remspan_spanner_edges. */
+REMSPAN_API size_t remspan_service_spanner_edges(const remspan_service_t* service,
+                                                 uint32_t tenant, uint32_t* endpoints,
+                                                 size_t max_edges);
+
+/* Sampled remote-stretch probe against the current epoch: worst
+ * d_{H_u}(u,v) / d_G(u,v) over `pairs` seeded draws (1.0 when no draw hits
+ * a connected nonadjacent pair). Deterministic in (pairs, seed, epoch). */
+REMSPAN_API remspan_status_t remspan_service_stretch(const remspan_service_t* service,
+                                                     uint32_t tenant, size_t pairs,
+                                                     uint64_t seed, double* out_max_ratio);
+
+/* Point-in-time per-tenant accounting (cumulative unless noted). */
+typedef struct remspan_tenant_stats {
+  uint64_t epoch;
+  uint64_t graph_version;
+  size_t queue_depth; /* current pending coalesced events */
+  uint64_t events_submitted;
+  uint64_t events_accepted;
+  uint64_t events_coalesced; /* accepted events absorbed before the engine */
+  uint64_t events_applied;
+  uint64_t batches_applied;
+  uint64_t rejected_retry_after;
+  uint64_t rejected_overloaded;
+  size_t spanner_edges;
+} remspan_tenant_stats_t;
+
+REMSPAN_API remspan_status_t remspan_service_tenant_stats(const remspan_service_t* service,
+                                                          uint32_t tenant,
+                                                          remspan_tenant_stats_t* out_stats);
+
+/* Service-wide aggregates over open tenants plus lifetime totals. */
+typedef struct remspan_service_totals {
+  size_t tenants_open;
+  uint64_t tenants_opened; /* lifetime */
+  uint64_t tenants_closed; /* lifetime */
+  size_t queue_depth;
+  uint64_t epochs_published;
+  uint64_t events_submitted;
+  uint64_t events_accepted;
+  uint64_t events_coalesced;
+  uint64_t events_applied;
+  uint64_t batches_applied;
+  uint64_t rejected_retry_after;
+  uint64_t rejected_overloaded;
+} remspan_service_totals_t;
+
+REMSPAN_API remspan_status_t remspan_service_stats(const remspan_service_t* service,
+                                                   remspan_service_totals_t* out_stats);
+
+/* Stops the workers and frees every tenant. Snapshots already handed out
+ * stay valid; call remspan_service_drain first for a graceful wind-down. */
+REMSPAN_API void remspan_service_free(remspan_service_t* service);
+
 /* --- observability (additive, ABI version unchanged) -------------------- */
 
 /* Turns the process-wide metrics registry on (non-zero) or off (zero).

@@ -1,0 +1,486 @@
+"""ctypes bindings for the remspan C ABI (include/remspan/remspan.h).
+
+Pure standard library — no dependencies beyond a built libremspan_c. The
+library is located through the REMSPAN_LIBRARY environment variable, an
+explicit path passed to load(), or the default build tree next to this
+file (../build/libremspan_c.so).
+
+Quickstart:
+
+    import remspan
+
+    g = remspan.Graph.generate("udg?n=300&side=5&seed=3")
+    h = remspan.Spanner.build(g, "th2?k=2")
+    print(len(h.edges()), "of", g.num_edges(), "edges")
+    report = h.verify(g)
+    assert report.satisfied
+
+    svc = remspan.Service(workers=0)
+    t = svc.open_tenant(g, "th2?k=1")
+    svc.submit(t, [("edge_up", 0, 7), ("node_down", 3)])
+    svc.flush(t)
+    assert svc.epoch(t) == 1
+
+Every failing call raises RemspanError carrying the status code and the
+thread-local message from remspan_last_error().
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import enum
+import os
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "RemspanError",
+    "Status",
+    "Admission",
+    "Graph",
+    "Spanner",
+    "Session",
+    "Service",
+    "VerifyReport",
+    "abi_version",
+    "load",
+]
+
+_EXPECTED_ABI_VERSION = 1
+
+
+class Status(enum.IntEnum):
+    OK = 0
+    INVALID_ARGUMENT = 1
+    PARSE = 2
+    IO = 3
+    UNSUPPORTED = 4
+    INTERNAL = 5
+
+
+class Admission(enum.IntEnum):
+    ACCEPTED = 0
+    RETRY_AFTER = 1
+    OVERLOADED = 2
+
+
+class RemspanError(RuntimeError):
+    """A remspan call returned a non-OK status."""
+
+    def __init__(self, status: Status, message: str):
+        super().__init__(f"{status.name}: {message}")
+        self.status = status
+        self.message = message
+
+
+class _Event(ctypes.Structure):
+    _fields_ = [("kind", ctypes.c_uint32), ("u", ctypes.c_uint32), ("v", ctypes.c_uint32)]
+
+
+class _BatchStats(ctypes.Structure):
+    _fields_ = [
+        ("version", ctypes.c_uint64),
+        ("applied_events", ctypes.c_size_t),
+        ("inserted_edges", ctypes.c_size_t),
+        ("removed_edges", ctypes.c_size_t),
+        ("dirty_roots", ctypes.c_size_t),
+        ("rebuilt_tree_edges", ctypes.c_size_t),
+        ("spanner_edges", ctypes.c_size_t),
+        ("seconds", ctypes.c_double),
+    ]
+
+
+class _ServiceConfig(ctypes.Structure):
+    _fields_ = [
+        ("worker_threads", ctypes.c_uint32),
+        ("max_tenants", ctypes.c_uint32),
+        ("tenant_queue_budget", ctypes.c_size_t),
+        ("global_queue_budget", ctypes.c_size_t),
+        ("max_batch_events", ctypes.c_size_t),
+    ]
+
+
+class _TenantStats(ctypes.Structure):
+    _fields_ = [
+        ("epoch", ctypes.c_uint64),
+        ("graph_version", ctypes.c_uint64),
+        ("queue_depth", ctypes.c_size_t),
+        ("events_submitted", ctypes.c_uint64),
+        ("events_accepted", ctypes.c_uint64),
+        ("events_coalesced", ctypes.c_uint64),
+        ("events_applied", ctypes.c_uint64),
+        ("batches_applied", ctypes.c_uint64),
+        ("rejected_retry_after", ctypes.c_uint64),
+        ("rejected_overloaded", ctypes.c_uint64),
+        ("spanner_edges", ctypes.c_size_t),
+    ]
+
+
+class _ServiceTotals(ctypes.Structure):
+    _fields_ = [
+        ("tenants_open", ctypes.c_size_t),
+        ("tenants_opened", ctypes.c_uint64),
+        ("tenants_closed", ctypes.c_uint64),
+        ("queue_depth", ctypes.c_size_t),
+        ("epochs_published", ctypes.c_uint64),
+        ("events_submitted", ctypes.c_uint64),
+        ("events_accepted", ctypes.c_uint64),
+        ("events_coalesced", ctypes.c_uint64),
+        ("events_applied", ctypes.c_uint64),
+        ("batches_applied", ctypes.c_uint64),
+        ("rejected_retry_after", ctypes.c_uint64),
+        ("rejected_overloaded", ctypes.c_uint64),
+    ]
+
+
+_EVENT_KINDS = {"edge_up": 0, "edge_down": 1, "node_up": 2, "node_down": 3}
+
+# An event is ("edge_up", u, v) / ("node_down", u) style tuples.
+Event = Union[Tuple[str, int, int], Tuple[str, int]]
+
+_lib: Optional[ctypes.CDLL] = None
+
+
+def _candidate_paths() -> List[str]:
+    paths = []
+    env = os.environ.get("REMSPAN_LIBRARY")
+    if env:
+        paths.append(env)
+    here = os.path.dirname(os.path.abspath(__file__))
+    for rel in ("../build/libremspan_c.so", "../build/libremspan_c.dylib"):
+        paths.append(os.path.normpath(os.path.join(here, rel)))
+    found = ctypes.util.find_library("remspan_c")
+    if found:
+        paths.append(found)
+    return paths
+
+
+def load(path: Optional[str] = None) -> ctypes.CDLL:
+    """Loads libremspan_c (idempotent) and checks the ABI version."""
+    global _lib
+    if _lib is not None and path is None:
+        return _lib
+    candidates = [path] if path else _candidate_paths()
+    errors = []
+    lib = None
+    for candidate in candidates:
+        try:
+            lib = ctypes.CDLL(candidate)
+            break
+        except OSError as e:  # keep looking, remember why
+            errors.append(f"{candidate}: {e}")
+    if lib is None:
+        raise RemspanError(
+            Status.IO,
+            "cannot load libremspan_c (set REMSPAN_LIBRARY); tried:\n  " + "\n  ".join(errors),
+        )
+    _declare(lib)
+    got = lib.remspan_abi_version()
+    if got != _EXPECTED_ABI_VERSION:
+        raise RemspanError(
+            Status.UNSUPPORTED,
+            f"ABI version mismatch: library implements {got}, bindings expect "
+            f"{_EXPECTED_ABI_VERSION}",
+        )
+    _lib = lib
+    return lib
+
+
+def _declare(lib: ctypes.CDLL) -> None:
+    p = ctypes.POINTER
+    void_p, char_p = ctypes.c_void_p, ctypes.c_char_p
+    u32, u64, sz, dbl = ctypes.c_uint32, ctypes.c_uint64, ctypes.c_size_t, ctypes.c_double
+    status, cint = ctypes.c_int, ctypes.c_int
+    sigs = {
+        "remspan_abi_version": (u32, []),
+        "remspan_last_error": (char_p, []),
+        "remspan_graph_from_edges": (status, [u32, p(u32), sz, p(void_p)]),
+        "remspan_graph_load": (status, [char_p, p(void_p)]),
+        "remspan_graph_generate": (status, [char_p, p(void_p)]),
+        "remspan_graph_num_nodes": (u32, [void_p]),
+        "remspan_graph_num_edges": (sz, [void_p]),
+        "remspan_graph_edges": (sz, [void_p, p(u32), sz]),
+        "remspan_graph_free": (None, [void_p]),
+        "remspan_spanner_build": (status, [void_p, char_p, p(void_p)]),
+        "remspan_spanner_spec": (char_p, [void_p]),
+        "remspan_spanner_num_edges": (sz, [void_p]),
+        "remspan_spanner_edges": (sz, [void_p, p(u32), sz]),
+        "remspan_spanner_contains": (cint, [void_p, u32, u32]),
+        "remspan_spanner_guarantee": (status, [void_p, p(dbl), p(dbl)]),
+        "remspan_spanner_verify": (status, [void_p, void_p, u64, p(cint), p(dbl)]),
+        "remspan_spanner_free": (None, [void_p]),
+        "remspan_session_open": (status, [void_p, char_p, p(void_p)]),
+        "remspan_session_apply": (status, [void_p, p(_Event), sz, p(_BatchStats)]),
+        "remspan_session_spanner_num_edges": (sz, [void_p]),
+        "remspan_session_spanner_edges": (sz, [void_p, p(u32), sz]),
+        "remspan_session_graph": (status, [void_p, p(void_p)]),
+        "remspan_session_free": (None, [void_p]),
+        "remspan_service_config_default": (None, [p(_ServiceConfig)]),
+        "remspan_service_create": (status, [p(_ServiceConfig), p(void_p)]),
+        "remspan_service_open_tenant": (status, [void_p, void_p, char_p, p(u32)]),
+        "remspan_service_close_tenant": (status, [void_p, u32]),
+        "remspan_service_submit": (status, [void_p, u32, p(_Event), sz, p(u32)]),
+        "remspan_service_flush": (status, [void_p, u32]),
+        "remspan_service_drain": (status, [void_p]),
+        "remspan_service_epoch": (u64, [void_p, u32]),
+        "remspan_service_contains": (cint, [void_p, u32, u32, u32]),
+        "remspan_service_spanner_num_edges": (sz, [void_p, u32]),
+        "remspan_service_spanner_edges": (sz, [void_p, u32, p(u32), sz]),
+        "remspan_service_stretch": (status, [void_p, u32, sz, u64, p(dbl)]),
+        "remspan_service_tenant_stats": (status, [void_p, u32, p(_TenantStats)]),
+        "remspan_service_stats": (status, [void_p, p(_ServiceTotals)]),
+        "remspan_service_free": (None, [void_p]),
+    }
+    for name, (restype, argtypes) in sigs.items():
+        fn = getattr(lib, name)
+        fn.restype = restype
+        fn.argtypes = argtypes
+
+
+def _check(status: int) -> None:
+    if status != Status.OK:
+        message = load().remspan_last_error().decode("utf-8", "replace")
+        raise RemspanError(Status(status), message)
+
+
+def abi_version() -> int:
+    return load().remspan_abi_version()
+
+
+def _pack_events(events: Sequence[Event]):
+    batch = (_Event * max(1, len(events)))()
+    for i, event in enumerate(events):
+        kind = _EVENT_KINDS.get(event[0])
+        if kind is None:
+            raise ValueError(f"unknown event kind {event[0]!r} (expected {set(_EVENT_KINDS)})")
+        batch[i].kind = kind
+        batch[i].u = event[1]
+        batch[i].v = event[2] if len(event) > 2 else 0
+    return batch
+
+
+def _unpack_edges(count: int, fill) -> List[Tuple[int, int]]:
+    buf = (ctypes.c_uint32 * (2 * max(1, count)))()
+    written = fill(buf, count)
+    return [(buf[2 * i], buf[2 * i + 1]) for i in range(written)]
+
+
+class _Handle:
+    """Owns one C handle; subclasses set _free to their destructor name."""
+
+    _free = ""
+
+    def __init__(self, ptr: ctypes.c_void_p):
+        self._ptr = ptr
+
+    def close(self) -> None:
+        # _lib directly (not load()): __del__ may run during interpreter
+        # shutdown when re-resolving the library is no longer possible.
+        if getattr(self, "_ptr", None) and _lib is not None:
+            getattr(_lib, self._free)(self._ptr)
+            self._ptr = None
+
+    __del__ = close
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *_exc):
+        self.close()
+        return False
+
+    @property
+    def _raw(self):
+        if self._ptr is None:
+            raise RemspanError(Status.INVALID_ARGUMENT, "handle already closed")
+        return self._ptr
+
+
+class Graph(_Handle):
+    _free = "remspan_graph_free"
+
+    @classmethod
+    def from_edges(cls, num_nodes: int, edges: Iterable[Tuple[int, int]]) -> "Graph":
+        flat = [x for uv in edges for x in uv]
+        arr = (ctypes.c_uint32 * max(1, len(flat)))(*flat)
+        out = ctypes.c_void_p()
+        _check(load().remspan_graph_from_edges(num_nodes, arr, len(flat) // 2,
+                                               ctypes.byref(out)))
+        return cls(out)
+
+    @classmethod
+    def generate(cls, graph_spec: str) -> "Graph":
+        out = ctypes.c_void_p()
+        _check(load().remspan_graph_generate(graph_spec.encode(), ctypes.byref(out)))
+        return cls(out)
+
+    @classmethod
+    def load_file(cls, path: str) -> "Graph":
+        out = ctypes.c_void_p()
+        _check(load().remspan_graph_load(path.encode(), ctypes.byref(out)))
+        return cls(out)
+
+    def num_nodes(self) -> int:
+        return load().remspan_graph_num_nodes(self._raw)
+
+    def num_edges(self) -> int:
+        return load().remspan_graph_num_edges(self._raw)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        lib = self._raw
+        return _unpack_edges(self.num_edges(),
+                             lambda buf, n: load().remspan_graph_edges(lib, buf, n))
+
+
+class VerifyReport:
+    def __init__(self, satisfied: bool, max_ratio: float):
+        self.satisfied = satisfied
+        self.max_ratio = max_ratio
+
+    def __repr__(self):
+        return f"VerifyReport(satisfied={self.satisfied}, max_ratio={self.max_ratio})"
+
+
+class Spanner(_Handle):
+    _free = "remspan_spanner_free"
+
+    @classmethod
+    def build(cls, graph: Graph, spanner_spec: str) -> "Spanner":
+        out = ctypes.c_void_p()
+        _check(load().remspan_spanner_build(graph._raw, spanner_spec.encode(),
+                                            ctypes.byref(out)))
+        return cls(out)
+
+    def spec(self) -> str:
+        return load().remspan_spanner_spec(self._raw).decode()
+
+    def num_edges(self) -> int:
+        return load().remspan_spanner_num_edges(self._raw)
+
+    def edges(self) -> List[Tuple[int, int]]:
+        raw = self._raw
+        return _unpack_edges(self.num_edges(),
+                             lambda buf, n: load().remspan_spanner_edges(raw, buf, n))
+
+    def contains(self, u: int, v: int) -> bool:
+        return bool(load().remspan_spanner_contains(self._raw, u, v))
+
+    def guarantee(self) -> Tuple[float, float]:
+        alpha, beta = ctypes.c_double(), ctypes.c_double()
+        _check(load().remspan_spanner_guarantee(self._raw, ctypes.byref(alpha),
+                                                ctypes.byref(beta)))
+        return alpha.value, beta.value
+
+    def verify(self, graph: Graph, seed: int = 1) -> VerifyReport:
+        satisfied, ratio = ctypes.c_int(), ctypes.c_double()
+        _check(load().remspan_spanner_verify(graph._raw, self._raw, seed,
+                                             ctypes.byref(satisfied), ctypes.byref(ratio)))
+        return VerifyReport(bool(satisfied.value), ratio.value)
+
+
+class Session(_Handle):
+    _free = "remspan_session_free"
+
+    @classmethod
+    def open(cls, graph: Graph, spanner_spec: str) -> "Session":
+        out = ctypes.c_void_p()
+        _check(load().remspan_session_open(graph._raw, spanner_spec.encode(),
+                                           ctypes.byref(out)))
+        return cls(out)
+
+    def apply(self, events: Sequence[Event]) -> dict:
+        stats = _BatchStats()
+        _check(load().remspan_session_apply(self._raw, _pack_events(events), len(events),
+                                            ctypes.byref(stats)))
+        return {name: getattr(stats, name) for name, _ in _BatchStats._fields_}
+
+    def spanner_num_edges(self) -> int:
+        return load().remspan_session_spanner_num_edges(self._raw)
+
+    def spanner_edges(self) -> List[Tuple[int, int]]:
+        raw = self._raw
+        return _unpack_edges(self.spanner_num_edges(),
+                             lambda buf, n: load().remspan_session_spanner_edges(raw, buf, n))
+
+    def graph(self) -> Graph:
+        out = ctypes.c_void_p()
+        _check(load().remspan_session_graph(self._raw, ctypes.byref(out)))
+        return Graph(out)
+
+
+class Service(_Handle):
+    """The multi-tenant serving layer (src/serve behind the C ABI)."""
+
+    _free = "remspan_service_free"
+
+    def __init__(self, workers: Optional[int] = None, max_tenants: Optional[int] = None,
+                 tenant_queue_budget: Optional[int] = None,
+                 global_queue_budget: Optional[int] = None,
+                 max_batch_events: Optional[int] = None):
+        cfg = _ServiceConfig()
+        load().remspan_service_config_default(ctypes.byref(cfg))
+        if workers is not None:
+            cfg.worker_threads = workers
+        if max_tenants is not None:
+            cfg.max_tenants = max_tenants
+        if tenant_queue_budget is not None:
+            cfg.tenant_queue_budget = tenant_queue_budget
+        if global_queue_budget is not None:
+            cfg.global_queue_budget = global_queue_budget
+        if max_batch_events is not None:
+            cfg.max_batch_events = max_batch_events
+        out = ctypes.c_void_p()
+        _check(load().remspan_service_create(ctypes.byref(cfg), ctypes.byref(out)))
+        super().__init__(out)
+
+    def open_tenant(self, graph: Graph, spanner_spec: str) -> int:
+        tenant = ctypes.c_uint32()
+        _check(load().remspan_service_open_tenant(self._raw, graph._raw,
+                                                  spanner_spec.encode(), ctypes.byref(tenant)))
+        return tenant.value
+
+    def close_tenant(self, tenant: int) -> None:
+        _check(load().remspan_service_close_tenant(self._raw, tenant))
+
+    def submit(self, tenant: int, events: Sequence[Event]) -> Admission:
+        verdict = ctypes.c_uint32()
+        _check(load().remspan_service_submit(self._raw, tenant, _pack_events(events),
+                                             len(events), ctypes.byref(verdict)))
+        return Admission(verdict.value)
+
+    def flush(self, tenant: int) -> None:
+        _check(load().remspan_service_flush(self._raw, tenant))
+
+    def drain(self) -> None:
+        _check(load().remspan_service_drain(self._raw))
+
+    def epoch(self, tenant: int) -> int:
+        return load().remspan_service_epoch(self._raw, tenant)
+
+    def contains(self, tenant: int, u: int, v: int) -> bool:
+        return bool(load().remspan_service_contains(self._raw, tenant, u, v))
+
+    def spanner_num_edges(self, tenant: int) -> int:
+        return load().remspan_service_spanner_num_edges(self._raw, tenant)
+
+    def spanner_edges(self, tenant: int) -> List[Tuple[int, int]]:
+        raw = self._raw
+        return _unpack_edges(
+            self.spanner_num_edges(tenant),
+            lambda buf, n: load().remspan_service_spanner_edges(raw, tenant, buf, n))
+
+    def stretch(self, tenant: int, pairs: int = 64, seed: int = 1) -> float:
+        ratio = ctypes.c_double()
+        _check(load().remspan_service_stretch(self._raw, tenant, pairs, seed,
+                                              ctypes.byref(ratio)))
+        return ratio.value
+
+    def tenant_stats(self, tenant: int) -> dict:
+        stats = _TenantStats()
+        _check(load().remspan_service_tenant_stats(self._raw, tenant, ctypes.byref(stats)))
+        return {name: getattr(stats, name) for name, _ in _TenantStats._fields_}
+
+    def stats(self) -> dict:
+        totals = _ServiceTotals()
+        _check(load().remspan_service_stats(self._raw, ctypes.byref(totals)))
+        return {name: getattr(totals, name) for name, _ in _ServiceTotals._fields_}

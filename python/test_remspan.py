@@ -1,0 +1,87 @@
+"""Smoke test for the ctypes bindings, run by ctest as python.bindings_smoke.
+
+Drives every wrapped call group once against libremspan_c: graph build and
+generate, build-by-spec + verify, session batches (cross-checked bit-exact
+against a from-scratch rebuild), and the multi-tenant service (epochs,
+admission verdicts, stats, eviction). Exits non-zero on the first failure.
+
+Usage: python3 test_remspan.py [path/to/libremspan_c.so]
+"""
+
+import sys
+
+import remspan
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        remspan.load(sys.argv[1])
+    assert remspan.abi_version() == 1
+
+    # Graphs: explicit edges and spec generation.
+    g = remspan.Graph.from_edges(6, [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5)])
+    assert g.num_nodes() == 6 and g.num_edges() == 7
+    assert g.edges()[0] == (0, 1)
+    udg = remspan.Graph.generate("udg?n=200&side=5&seed=3")
+    assert udg.num_nodes() == 200
+
+    # Errors surface as RemspanError with the right status.
+    try:
+        remspan.Graph.generate("dodecahedron?n=5")
+        raise AssertionError("bad spec was accepted")
+    except remspan.RemspanError as e:
+        assert e.status == remspan.Status.PARSE, e
+
+    # Build-by-spec, queries, exact-oracle verification.
+    h = remspan.Spanner.build(udg, "th2?k=2")
+    assert h.spec() == "th2?k=2"
+    assert 0 < h.num_edges() <= udg.num_edges()
+    u, v = h.edges()[0]
+    assert h.contains(u, v) and h.contains(v, u)
+    assert h.guarantee() == (1.0, 0.0)
+    report = h.verify(udg)
+    assert report.satisfied and report.max_ratio >= 1.0, report
+
+    # Incremental session: batch stats and bit-exactness vs from-scratch.
+    s = remspan.Session.open(udg, "th2?k=1")
+    stats = s.apply([("edge_up", 0, 199), ("node_down", 7), ("node_down", 7)])
+    assert stats["version"] > 0
+    snap = s.graph()
+    scratch = remspan.Spanner.build(snap, "th2?k=1")
+    assert s.spanner_edges() == scratch.edges()
+
+    # Service: deterministic synchronous mode end to end.
+    svc = remspan.Service(workers=0, tenant_queue_budget=8)
+    t = svc.open_tenant(udg, "th2?k=1")
+    assert svc.epoch(t) == 0
+    assert svc.spanner_num_edges(t) > 0
+    verdict = svc.submit(t, [("edge_up", 0, 150), ("edge_up", 1, 151)])
+    assert verdict == remspan.Admission.ACCEPTED
+    svc.flush(t)
+    assert svc.epoch(t) == 1
+    assert svc.contains(t, 0, 150)
+    assert svc.stretch(t, pairs=32, seed=1) >= 1.0
+
+    # Over the 8-cell budget in one batch: rejected, nothing changes.
+    big = [("edge_up", 0, 100 + i) for i in range(9)]
+    assert svc.submit(t, big) == remspan.Admission.RETRY_AFTER
+    ts = svc.tenant_stats(t)
+    assert ts["rejected_retry_after"] == 1 and ts["queue_depth"] == 0
+
+    totals = svc.stats()
+    assert totals["tenants_open"] == 1 and totals["epochs_published"] >= 2
+    svc.close_tenant(t)
+    assert svc.stats()["tenants_closed"] == 1
+
+    try:
+        svc.flush(t)
+        raise AssertionError("flush of an evicted tenant succeeded")
+    except remspan.RemspanError as e:
+        assert e.status == remspan.Status.INVALID_ARGUMENT, e
+
+    print("python bindings smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

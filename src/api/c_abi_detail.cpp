@@ -1,0 +1,55 @@
+#include "api/c_abi_detail.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/spec.hpp"
+#include "serve/service.hpp"
+#include "util/prelude.hpp"
+
+namespace remspan::api::c_detail {
+
+namespace {
+thread_local std::string t_last_error;
+}  // namespace
+
+remspan_status_t fail(remspan_status_t status, std::string message) {
+  t_last_error = std::move(message);
+  return status;
+}
+
+remspan_status_t trap(std::exception_ptr error, remspan_status_t spec_status) {
+  try {
+    std::rethrow_exception(std::move(error));
+  } catch (const SpecError& e) {
+    return fail(spec_status, e.what());
+  } catch (const serve::ServiceError& e) {
+    return fail(REMSPAN_ERR_INVALID_ARGUMENT, e.what());
+  } catch (const CheckError& e) {
+    return fail(REMSPAN_ERR_INTERNAL, e.what());
+  } catch (const std::exception& e) {
+    return fail(REMSPAN_ERR_INTERNAL, e.what());
+  } catch (...) {
+    return fail(REMSPAN_ERR_INTERNAL, "unknown error");
+  }
+}
+
+const char* last_error_cstr() noexcept {
+  try {
+    return t_last_error.c_str();
+  } catch (...) {
+    return "";
+  }
+}
+
+std::size_t copy_edges(std::span<const Edge> edges, std::uint32_t* endpoints,
+                       std::size_t max_edges) {
+  const std::size_t count = std::min(max_edges, edges.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    endpoints[2 * i] = edges[i].u;
+    endpoints[2 * i + 1] = edges[i].v;
+  }
+  return count;
+}
+
+}  // namespace remspan::api::c_detail

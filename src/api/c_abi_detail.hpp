@@ -1,0 +1,49 @@
+// Shared plumbing of the C ABI translation units (remspan_c.cpp,
+// remspan_service_c.cpp): the thread-local error slot behind
+// remspan_last_error(), the fail()/trap() status mappers every entry point
+// funnels exceptions through, and the (u,v)-pair edge copier.
+//
+// Internal to the remspan_c shared library — not installed, not part of
+// libremspan. Both ABI files keep the R1 discipline (single top-level
+// try/catch-all per extern "C" function); these helpers are what the catch
+// arms call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "remspan/remspan.h"
+
+/// The graph handle, shared by both ABI translation units (the service
+/// section opens tenants from graph handles; the spanner/session/service
+/// handles stay private to their defining file).
+struct remspan_graph {
+  std::shared_ptr<const remspan::Graph> graph;
+};
+
+namespace remspan::api::c_detail {
+
+/// Records `message` in the calling thread's error slot and returns
+/// `status` (the standard early-return of every validation failure).
+remspan_status_t fail(remspan_status_t status, std::string message);
+
+/// Maps the exceptions the C++ layers throw to ABI statuses. `spec_status`
+/// is what a SpecError means for this entry point (parse vs I/O);
+/// serve::ServiceError maps to REMSPAN_ERR_INVALID_ARGUMENT.
+remspan_status_t trap(std::exception_ptr error, remspan_status_t spec_status = REMSPAN_ERR_PARSE);
+
+/// The calling thread's last error message ("" if none); stays valid until
+/// the next failing call on this thread.
+[[nodiscard]] const char* last_error_cstr() noexcept;
+
+/// Writes up to `max_edges` edges as (u,v) pairs into `endpoints` (length
+/// 2*max_edges); returns how many were written.
+std::size_t copy_edges(std::span<const Edge> edges, std::uint32_t* endpoints,
+                       std::size_t max_edges);
+
+}  // namespace remspan::api::c_detail

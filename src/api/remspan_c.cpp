@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "api/c_abi_detail.hpp"
 #include "api/observability.hpp"
 #include "api/registry.hpp"
 #include "api/spec.hpp"
@@ -32,7 +33,6 @@
 
 namespace {
 
-using remspan::CheckError;
 using remspan::Dist;
 using remspan::DynamicGraph;
 using remspan::EdgeSet;
@@ -41,40 +41,9 @@ using remspan::GraphBuilder;
 using remspan::GraphEvent;
 using remspan::NodeId;
 namespace api = remspan::api;
-
-thread_local std::string t_last_error;
-
-remspan_status_t fail(remspan_status_t status, std::string message) {
-  t_last_error = std::move(message);
-  return status;
-}
-
-/// Maps the exceptions the C++ layers throw to ABI statuses. `spec_status`
-/// is what a SpecError means for this entry point (parse vs I/O).
-remspan_status_t trap(std::exception_ptr error,
-                      remspan_status_t spec_status = REMSPAN_ERR_PARSE) {
-  try {
-    std::rethrow_exception(std::move(error));
-  } catch (const api::SpecError& e) {
-    return fail(spec_status, e.what());
-  } catch (const CheckError& e) {
-    return fail(REMSPAN_ERR_INTERNAL, e.what());
-  } catch (const std::exception& e) {
-    return fail(REMSPAN_ERR_INTERNAL, e.what());
-  } catch (...) {
-    return fail(REMSPAN_ERR_INTERNAL, "unknown error");
-  }
-}
-
-size_t copy_edges(std::span<const remspan::Edge> edges, uint32_t* endpoints,
-                  size_t max_edges) {
-  const size_t count = std::min(max_edges, edges.size());
-  for (size_t i = 0; i < count; ++i) {
-    endpoints[2 * i] = edges[i].u;
-    endpoints[2 * i + 1] = edges[i].v;
-  }
-  return count;
-}
+using api::c_detail::copy_edges;
+using api::c_detail::fail;
+using api::c_detail::trap;
 
 /// Same topology test for verify: the exact build handle, or any handle
 /// holding an identical canonical node/edge set.
@@ -85,10 +54,6 @@ bool same_topology(const Graph& a, const Graph& b) {
 }
 
 }  // namespace
-
-struct remspan_graph {
-  std::shared_ptr<const Graph> graph;
-};
 
 struct remspan_spanner {
   std::shared_ptr<const Graph> graph;  ///< keeps result.edges' backing graph alive
@@ -112,7 +77,7 @@ uint32_t remspan_abi_version(void) {
 
 const char* remspan_last_error(void) {
   try {
-    return t_last_error.c_str();
+    return api::c_detail::last_error_cstr();
   } catch (...) {
     return "";
   }

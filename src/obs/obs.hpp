@@ -95,4 +95,21 @@ inline void instant(const char* name, const char* cat = "engine") {
   }
 }
 
+/// One-shot metric hooks: a relaxed load and a branch when no registry is
+/// installed, a name lookup + relaxed cell update when one is. Call sites
+/// with a hot inner loop should still cache the instrument reference; these
+/// are for whole-call totals (the service's ingestion/publication path).
+inline void count(const char* name, std::uint64_t n = 1) {
+  if (Registry* m = metrics()) m->counter(name).add(n);
+}
+inline void gauge_set(const char* name, std::int64_t v) {
+  if (Registry* m = metrics()) m->gauge(name).set(v);
+}
+inline void gauge_add(const char* name, std::int64_t n) {
+  if (Registry* m = metrics()) m->gauge(name).add(n);
+}
+inline void record(const char* name, std::uint64_t v) {
+  if (Registry* m = metrics()) m->histogram(name).record(v);
+}
+
 }  // namespace remspan::obs

@@ -1,0 +1,77 @@
+#include "serve/coalesce.hpp"
+
+#include <utility>
+
+#include "util/prelude.hpp"
+
+namespace remspan::serve {
+
+GraphEvent make_event(const EventKey& key, bool up) {
+  if (key.is_edge()) {
+    return up ? GraphEvent::edge_up(key.u, key.v) : GraphEvent::edge_down(key.u, key.v);
+  }
+  return up ? GraphEvent::node_up(key.u) : GraphEvent::node_down(key.u);
+}
+
+std::vector<GraphEvent> coalesce_events(std::span<const GraphEvent> events) {
+  std::map<EventKey, bool> last;
+  for (const GraphEvent& e : events) {
+    last[EventKey::of(e)] = event_state(e.kind);
+  }
+  std::vector<GraphEvent> out;
+  out.reserve(last.size());
+  for (const auto& [key, up] : last) out.push_back(make_event(key, up));
+  return out;
+}
+
+CoalescingQueue::CoalescingQueue(std::shared_ptr<const Graph> initial)
+    : initial_(std::move(initial)) {
+  REMSPAN_CHECK(initial_ != nullptr);
+}
+
+bool CoalescingQueue::current_state(const EventKey& key) const {
+  if (const auto it = committed_.find(key); it != committed_.end()) return it->second;
+  // Untouched cells sit at their open-time state: the snapshot's edges are
+  // stored, everything else is absent, and every node starts up (the
+  // DynamicGraph(initial) contract).
+  if (key.is_edge()) return initial_->has_edge(key.u, key.v);
+  return true;
+}
+
+CoalescingQueue::SubmitDelta CoalescingQueue::submit(std::span<const GraphEvent> events) {
+  const std::size_t before = pending_.size();
+  for (const GraphEvent& e : events) {
+    const EventKey key = EventKey::of(e);
+    const bool desired = event_state(e.kind);
+    if (const auto it = pending_.find(key); it != pending_.end()) {
+      if (desired == current_state(key)) {
+        pending_.erase(it);  // up+down (or down+up) annihilate
+      } else {
+        it->second = desired;  // already pending at this state: duplicate
+      }
+    } else if (desired != current_state(key)) {
+      pending_.emplace(key, desired);
+    }
+    // desired == current and nothing pending: a pure no-op, dropped.
+  }
+  SubmitDelta delta;
+  delta.events = events.size();
+  delta.net_growth =
+      static_cast<std::int64_t>(pending_.size()) - static_cast<std::int64_t>(before);
+  delta.coalesced = events.size() - static_cast<std::size_t>(delta.net_growth);
+  return delta;
+}
+
+std::vector<GraphEvent> CoalescingQueue::take_batch(std::size_t max_events) {
+  std::vector<GraphEvent> batch;
+  batch.reserve(std::min(max_events, pending_.size()));
+  auto it = pending_.begin();
+  while (it != pending_.end() && batch.size() < max_events) {
+    batch.push_back(make_event(it->first, it->second));
+    committed_[it->first] = it->second;
+    it = pending_.erase(it);
+  }
+  return batch;
+}
+
+}  // namespace remspan::serve

@@ -1,0 +1,116 @@
+// Event coalescing for the multi-tenant service's ingestion path.
+//
+// DynamicGraph state is a set of independent boolean cells: one per stored
+// edge and one per node's liveness. Every GraphEvent writes exactly one
+// cell (edge up/down -> stored bit, node up/down -> liveness bit), writes
+// to distinct cells commute, and a later write to the same cell fully
+// overwrites an earlier one. Two exact consequences drive this module:
+//
+//   * last-write-wins: a stream of events is state-equivalent to one event
+//     per touched cell carrying the stream's final kind for that cell
+//     (coalesce_events — the stateless reduction, pinned bit-exact against
+//     uncoalesced replay by tests/test_serve.cpp);
+//   * annihilation: an event whose desired cell state equals the cell's
+//     current state is a no-op and can be dropped entirely — in particular
+//     an up immediately undone by a down (or vice versa) cancels out of
+//     the queue instead of costing an IncrementalSpanner batch
+//     (CoalescingQueue — the stateful per-tenant ingestion queue).
+//
+// CoalescingQueue tracks cell state at the queue level (initial snapshot +
+// overrides for every cell it has ever handed out for application), so the
+// service's admission/submit path never reads the tenant's DynamicGraph —
+// which a worker thread may be mutating concurrently.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dynamic/dynamic_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace remspan::serve {
+
+/// The state cell a GraphEvent writes: an edge {u, v} in canonical order,
+/// or a node's liveness (v == kInvalidNode). Ordering is lexicographic, so
+/// a node cell sorts directly after the node's edge cells.
+struct EventKey {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+
+  [[nodiscard]] static EventKey of(const GraphEvent& e) {
+    return e.v == kInvalidNode ? EventKey{e.u, kInvalidNode} : EventKey{e.u, e.v};
+  }
+
+  [[nodiscard]] bool is_edge() const noexcept { return v != kInvalidNode; }
+
+  friend bool operator==(const EventKey&, const EventKey&) = default;
+  friend auto operator<=>(const EventKey&, const EventKey&) = default;
+};
+
+/// The boolean cell state an event writes (up == true).
+[[nodiscard]] constexpr bool event_state(GraphEventKind kind) noexcept {
+  return kind == GraphEventKind::kEdgeUp || kind == GraphEventKind::kNodeUp;
+}
+
+/// The event writing `up` into `key`'s cell.
+[[nodiscard]] GraphEvent make_event(const EventKey& key, bool up);
+
+/// Stateless exact reduction: one event per touched cell, carrying the
+/// stream's last kind for that cell, in sorted key order. Applying the
+/// result to ANY DynamicGraph state produces the same final state as
+/// applying the full stream in order (cells are independent; the last
+/// write to a cell fully determines it).
+[[nodiscard]] std::vector<GraphEvent> coalesce_events(std::span<const GraphEvent> events);
+
+/// Per-tenant coalescing ingestion queue. Pending entries are exactly the
+/// cells whose desired state differs from the queue-level current state,
+/// so the queue depth is the true amount of outstanding work: duplicates
+/// are suppressed on arrival and an up+down pair on the same cell
+/// annihilates back to nothing. take_batch() extracts the first
+/// `max_events` cells in key order and commits their desired states to the
+/// queue-level view — applying every extracted batch in order to the
+/// tenant's engine reproduces, bit-exact, the effect of the uncoalesced
+/// submit stream.
+///
+/// Not internally synchronized: the owning tenant serializes access.
+class CoalescingQueue {
+ public:
+  /// Queue over a tenant opened on `initial` (all nodes up, the snapshot's
+  /// edges stored). The snapshot is immutable and shared — consulting it
+  /// for cell defaults never races with engine mutation.
+  explicit CoalescingQueue(std::shared_ptr<const Graph> initial);
+
+  /// Outcome of one submit: how the queue depth changed and how many of
+  /// the accepted events coalesced away instead of growing it.
+  struct SubmitDelta {
+    std::size_t events = 0;       ///< events submitted in this call
+    std::size_t coalesced = 0;    ///< events - net queue growth (>= 0)
+    std::int64_t net_growth = 0;  ///< pending-after minus pending-before
+  };
+
+  /// Folds `events` (applied in order) into the pending set.
+  SubmitDelta submit(std::span<const GraphEvent> events);
+
+  /// Pending cells (the queue depth admission control budgets against).
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+
+  /// Extracts up to `max_events` pending cells in key order as a batch of
+  /// GraphEvents and commits their states to the queue-level view.
+  [[nodiscard]] std::vector<GraphEvent> take_batch(std::size_t max_events);
+
+ private:
+  /// Queue-level current state of a cell: the committed override if one
+  /// exists, else the initial snapshot's state.
+  [[nodiscard]] bool current_state(const EventKey& key) const;
+
+  std::shared_ptr<const Graph> initial_;
+  /// Cells ever extracted via take_batch, at their committed state.
+  std::map<EventKey, bool> committed_;
+  /// Cells whose desired state differs from current_state().
+  std::map<EventKey, bool> pending_;
+};
+
+}  // namespace remspan::serve

@@ -225,4 +225,123 @@ TEST(CApi, SessionErrorPaths) {
   remspan_graph_free(g);
 }
 
+TEST(CApiService, LifecycleSubmitFlushAndQueries) {
+  remspan_graph_t* g = nullptr;
+  ASSERT_EQ(remspan_graph_generate("udg?n=120&side=4&seed=8", &g), REMSPAN_OK);
+
+  remspan_service_config_t cfg;
+  remspan_service_config_default(&cfg);
+  EXPECT_GT(cfg.max_tenants, 0u);
+  cfg.worker_threads = 0;  // deterministic mode
+  remspan_service_t* service = nullptr;
+  ASSERT_EQ(remspan_service_create(&cfg, &service), REMSPAN_OK);
+
+  uint32_t tenant = 99;
+  ASSERT_EQ(remspan_service_open_tenant(service, g, "th2?k=1", &tenant), REMSPAN_OK);
+  EXPECT_EQ(remspan_service_epoch(service, tenant), 0u);
+
+  // The epoch-0 snapshot is the from-scratch build.
+  remspan_spanner_t* scratch = nullptr;
+  ASSERT_EQ(remspan_spanner_build(g, "th2?k=1", &scratch), REMSPAN_OK);
+  const size_t count = remspan_service_spanner_num_edges(service, tenant);
+  ASSERT_EQ(count, remspan_spanner_num_edges(scratch));
+  std::vector<uint32_t> a(2 * count, 0), b(2 * count, 1);
+  EXPECT_EQ(remspan_service_spanner_edges(service, tenant, a.data(), count), count);
+  EXPECT_EQ(remspan_spanner_edges(scratch, b.data(), count), count);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(remspan_service_contains(service, tenant, a[0], a[1]), 1);
+  remspan_spanner_free(scratch);
+
+  // Submit a batch; nothing is applied until flush, then the epoch advances.
+  const uint32_t n = remspan_graph_num_nodes(g);
+  const remspan_event_t batch[] = {{REMSPAN_EVENT_EDGE_UP, 0, n - 1, },
+                                   {REMSPAN_EVENT_NODE_DOWN, 3, 0, }};
+  uint32_t admission = 99;
+  ASSERT_EQ(remspan_service_submit(service, tenant, batch, 2, &admission), REMSPAN_OK);
+  EXPECT_EQ(admission, REMSPAN_ADMIT_ACCEPTED);
+  EXPECT_EQ(remspan_service_epoch(service, tenant), 0u);
+  ASSERT_EQ(remspan_service_flush(service, tenant), REMSPAN_OK);
+  EXPECT_EQ(remspan_service_epoch(service, tenant), 1u);
+
+  double ratio = 0.0;
+  ASSERT_EQ(remspan_service_stretch(service, tenant, 64, 1, &ratio), REMSPAN_OK);
+  EXPECT_GE(ratio, 1.0);
+
+  remspan_tenant_stats_t ts;
+  ASSERT_EQ(remspan_service_tenant_stats(service, tenant, &ts), REMSPAN_OK);
+  EXPECT_EQ(ts.epoch, 1u);
+  EXPECT_EQ(ts.events_submitted, 2u);
+  EXPECT_EQ(ts.batches_applied, 1u);
+  EXPECT_EQ(ts.queue_depth, 0u);
+
+  remspan_service_totals_t totals;
+  ASSERT_EQ(remspan_service_stats(service, &totals), REMSPAN_OK);
+  EXPECT_EQ(totals.tenants_open, 1u);
+  EXPECT_EQ(totals.events_submitted, 2u);
+
+  ASSERT_EQ(remspan_service_close_tenant(service, tenant), REMSPAN_OK);
+  ASSERT_EQ(remspan_service_stats(service, &totals), REMSPAN_OK);
+  EXPECT_EQ(totals.tenants_open, 0u);
+  EXPECT_EQ(totals.tenants_closed, 1u);
+  remspan_service_free(service);
+  remspan_graph_free(g);
+}
+
+TEST(CApiService, ErrorPathsAndAdmission) {
+  remspan_graph_t* g = nullptr;
+  ASSERT_EQ(remspan_graph_from_edges(kBridgeNodes, kBridgeEdges, kBridgeEdgeCount, &g),
+            REMSPAN_OK);
+
+  remspan_service_t* service = nullptr;
+  remspan_service_config_t cfg;
+  remspan_service_config_default(&cfg);
+  cfg.max_tenants = 0;
+  EXPECT_EQ(remspan_service_create(&cfg, &service), REMSPAN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(service, nullptr);
+
+  remspan_service_config_default(&cfg);
+  cfg.worker_threads = 0;
+  cfg.tenant_queue_budget = 3;
+  ASSERT_EQ(remspan_service_create(&cfg, &service), REMSPAN_OK);
+
+  uint32_t tenant = 0;
+  EXPECT_EQ(remspan_service_open_tenant(service, g, "mpr", &tenant), REMSPAN_ERR_UNSUPPORTED);
+  EXPECT_EQ(remspan_service_open_tenant(service, g, "th2?k=banana", &tenant),
+            REMSPAN_ERR_PARSE);
+  EXPECT_EQ(remspan_service_open_tenant(nullptr, g, "th2", &tenant),
+            REMSPAN_ERR_INVALID_ARGUMENT);
+
+  ASSERT_EQ(remspan_service_open_tenant(service, g, "th2?k=1", &tenant), REMSPAN_OK);
+
+  // Malformed events are rejected atomically, before admission control.
+  const remspan_event_t bad[] = {{REMSPAN_EVENT_EDGE_UP, 2, 99, }};
+  uint32_t admission = 77;
+  EXPECT_EQ(remspan_service_submit(service, tenant, bad, 1, &admission),
+            REMSPAN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(admission, 77u);  // out-pointer untouched on failure
+
+  // Over the 3-event tenant budget in one go: REMSPAN_OK, verdict says back off.
+  const remspan_event_t big[] = {{REMSPAN_EVENT_EDGE_UP, 0, 3, },
+                                 {REMSPAN_EVENT_EDGE_UP, 0, 4, },
+                                 {REMSPAN_EVENT_EDGE_UP, 0, 5, },
+                                 {REMSPAN_EVENT_EDGE_UP, 1, 3, }};
+  ASSERT_EQ(remspan_service_submit(service, tenant, big, 4, &admission), REMSPAN_OK);
+  EXPECT_EQ(admission, REMSPAN_ADMIT_RETRY_AFTER);
+  remspan_tenant_stats_t ts;
+  ASSERT_EQ(remspan_service_tenant_stats(service, tenant, &ts), REMSPAN_OK);
+  EXPECT_EQ(ts.queue_depth, 0u);
+  EXPECT_EQ(ts.rejected_retry_after, 1u);
+
+  // Unknown tenant ids: statuses fail, accessors return neutral values.
+  EXPECT_EQ(remspan_service_flush(service, 12345), REMSPAN_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(remspan_service_epoch(service, 12345), 0u);
+  EXPECT_EQ(remspan_service_contains(service, 12345, 0, 1), 0);
+  EXPECT_EQ(remspan_service_spanner_num_edges(service, 12345), 0u);
+  EXPECT_EQ(remspan_service_tenant_stats(service, 12345, &ts),
+            REMSPAN_ERR_INVALID_ARGUMENT);
+
+  remspan_service_free(service);
+  remspan_graph_free(g);
+}
+
 }  // namespace

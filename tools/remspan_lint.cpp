@@ -52,7 +52,8 @@ constexpr RuleInfo kRules[] = {
     {"R0", "annotation-grammar",
      "every 'remspan-lint: allow(...)' must carry a written justification"},
     {"R1", "c-abi-exception-wall",
-     "every function in src/api/remspan_c.cpp opens with a top-level try and "
+     "every function in the C ABI files (src/api/remspan_c.cpp, "
+     "src/api/remspan_service_c.cpp) opens with a top-level try and "
      "ends in a catch-all: no exception may cross extern \"C\""},
     {"R2", "strict-number-parsing",
      "std::sto*/ato*/strto* are banned outside util/strnum: strict "
@@ -333,7 +334,9 @@ class FileLinter {
 
   void run() {
     check_annotation_grammar();
-    if (path_ == "src/api/remspan_c.cpp") check_r1();
+    if (path_ == "src/api/remspan_c.cpp" || path_ == "src/api/remspan_service_c.cpp") {
+      check_r1();
+    }
     if (path_ != "src/util/strnum.cpp") check_r2();
     if (path_ != "src/util/options.cpp") check_r3();
     if (starts_with(path_, "src/") || starts_with(path_, "include/")) check_r4();
